@@ -1,0 +1,61 @@
+package darpanet_test
+
+import (
+	"testing"
+
+	"darpanet/internal/exp"
+)
+
+// Each benchmark regenerates one experiment table from EXPERIMENTS.md.
+// The measured quantity is the wall-clock cost of simulating the whole
+// experiment (the simulated time is fixed per experiment), so b.N loops
+// re-run the full deterministic scenario.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := e.Run(1988 + int64(i))
+		if len(res.Table.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkE1Survivability(b *testing.B)  { benchExperiment(b, "E1") }
+func BenchmarkE2TypesOfService(b *testing.B) { benchExperiment(b, "E2") }
+func BenchmarkE3Varieties(b *testing.B)      { benchExperiment(b, "E3") }
+func BenchmarkE4Routing(b *testing.B)        { benchExperiment(b, "E4") }
+func BenchmarkE5Overhead(b *testing.B)       { benchExperiment(b, "E5") }
+func BenchmarkE6NaiveHost(b *testing.B)      { benchExperiment(b, "E6") }
+func BenchmarkE7Accounting(b *testing.B)     { benchExperiment(b, "E7") }
+func BenchmarkE8FirstByte(b *testing.B)      { benchExperiment(b, "E8") }
+func BenchmarkE9Repacketize(b *testing.B)    { benchExperiment(b, "E9") }
+func BenchmarkE10Congestion(b *testing.B)    { benchExperiment(b, "E10") }
+
+// TestAllExperimentsProduceStableResults runs every experiment twice with
+// the same seed and requires identical tables: the whole reproduction is
+// deterministic.
+func TestAllExperimentsProduceStableResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a few seconds")
+	}
+	for _, e := range exp.All {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			a := e.Run(7)
+			b := e.Run(7)
+			if a.Table.String() != b.Table.String() {
+				t.Fatalf("%s is nondeterministic:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+					e.ID, a.Table.String(), b.Table.String())
+			}
+			if len(a.Table.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+		})
+	}
+}

@@ -1,0 +1,51 @@
+// Command experiments runs the darpanet reproduction experiments (E1–E10,
+// one per architectural claim of Clark's 1988 design-philosophy paper)
+// and prints their tables. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	experiments [-seed N] [-only E1,E5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"darpanet/internal/exp"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1988, "simulation seed (runs are deterministic per seed)")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+
+	fmt.Printf("darpanet experiment suite — seed %d\n", *seed)
+	fmt.Printf("reproducing: Clark, \"The Design Philosophy of the DARPA Internet Protocols\", SIGCOMM 1988\n\n")
+
+	ran := 0
+	for _, e := range exp.All {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		res := e.Run(*seed)
+		fmt.Println(res.String())
+		fmt.Printf("(%s wall time: %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments matched -only")
+		os.Exit(1)
+	}
+}

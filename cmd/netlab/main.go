@@ -1,0 +1,325 @@
+// Command netlab builds and drives darpanet internetworks from a small
+// scenario script, read from a file or stdin. It exists so topologies can
+// be explored without writing Go.
+//
+// Usage:
+//
+//	netlab [-seed N] [script.nl]
+//
+// Script language (one command per line, '#' comments):
+//
+//	net <name> <prefix> <lan|p2p|radio> [rate=<bps>] [delay=<dur>] [mtu=<n>] [loss=<p>] [queue=<n>]
+//	host <name> <net> [<net>...]
+//	gateway <name> <net> [<net>...]
+//	static                      # install oracle routes
+//	rip                         # start distance-vector routing everywhere
+//	priority <node>             # ToS priority queueing at a gateway
+//	run <duration>              # advance simulated time (e.g. 10s, 500ms)
+//	ping <from> <to> <count>    # echo probes, printed as they return
+//	transfer <from> <to> <bytes> <port>   # start a TCP bulk transfer
+//	crash <node> | restore <node>
+//	cut <net> | uncut <net>
+//	trace <from> <to>           # TTL-walk the path (traceroute)
+//	tap <node>                  # start capturing datagrams at a node
+//	dump <node>                 # print and clear a node's capture
+//	routes <node>               # dump a routing table
+//	stats <node>                # dump IP counters
+//	transfers                   # report all transfers' progress
+//
+// Example:
+//
+//	net lanA 10.1.0.0/24 lan rate=10000000 delay=1ms
+//	net lanB 10.2.0.0/24 lan rate=10000000 delay=1ms
+//	host a lanA
+//	host b lanB
+//	gateway gw lanA lanB
+//	static
+//	ping a b 3
+//	run 2s
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"darpanet/internal/core"
+	"darpanet/internal/exp"
+	"darpanet/internal/phys"
+	"darpanet/internal/rip"
+	"darpanet/internal/sim"
+	"darpanet/internal/stack"
+	"darpanet/internal/stats"
+	"darpanet/internal/tcp"
+	"darpanet/internal/trace"
+)
+
+type lab struct {
+	nw        *core.Network
+	transfers map[string]*transferState
+	taps      map[string]*trace.Buffer
+	lineNo    int
+}
+
+type transferState struct {
+	name     string
+	target   int
+	received *int
+	conn     *tcp.Conn
+}
+
+func main() {
+	seed := int64(1)
+	args := os.Args[1:]
+	if len(args) >= 2 && args[0] == "-seed" {
+		v, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			fatal("bad seed %q", args[1])
+		}
+		seed = v
+		args = args[2:]
+	}
+	in := os.Stdin
+	if len(args) >= 1 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	l := &lab{nw: core.New(seed), transfers: make(map[string]*transferState), taps: make(map[string]*trace.Buffer)}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		l.lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		l.exec(line)
+	}
+	if err := sc.Err(); err != nil {
+		fatal("read: %v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "netlab: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func (l *lab) fail(format string, args ...any) {
+	fatal("line %d: "+format, append([]any{l.lineNo}, args...)...)
+}
+
+func (l *lab) exec(line string) {
+	defer func() {
+		if r := recover(); r != nil {
+			l.fail("%v", r)
+		}
+	}()
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "net":
+		l.cmdNet(args)
+	case "host", "gateway":
+		if len(args) < 2 {
+			l.fail("%s needs a name and at least one net", cmd)
+		}
+		if cmd == "host" {
+			l.nw.AddHost(args[0], args[1:]...)
+		} else {
+			l.nw.AddGateway(args[0], args[1:]...)
+		}
+	case "static":
+		l.nw.InstallStaticRoutes()
+	case "rip":
+		l.nw.EnableRIP(rip.Config{
+			UpdateInterval: 2 * time.Second,
+			RouteTimeout:   7 * time.Second,
+			GCTimeout:      4 * time.Second,
+			TriggeredDelay: 200 * time.Millisecond,
+		})
+	case "priority":
+		l.need(args, 1, "priority <node>")
+		l.nw.EnablePriorityQueueing(args[0], 32)
+	case "run":
+		l.need(args, 1, "run <duration>")
+		d, err := time.ParseDuration(args[0])
+		if err != nil {
+			l.fail("bad duration %q", args[0])
+		}
+		l.nw.RunFor(d)
+		fmt.Printf("t=%s\n", l.nw.Now())
+	case "ping":
+		l.need(args, 3, "ping <from> <to> <count>")
+		count, _ := strconv.Atoi(args[2])
+		from := args[0]
+		l.nw.Node(from).Ping(l.nw.Addr(args[1]), count, 200*time.Millisecond,
+			func(seq uint16, rtt sim.Duration) {
+				fmt.Printf("%s: reply from %s seq=%d rtt=%.2fms\n", from, args[1], seq, float64(rtt)/1e6)
+			})
+	case "transfer":
+		l.need(args, 4, "transfer <from> <to> <bytes> <port>")
+		nbytes, _ := strconv.Atoi(args[2])
+		port, _ := strconv.Atoi(args[3])
+		l.startTransfer(args[0], args[1], nbytes, uint16(port))
+	case "crash":
+		l.need(args, 1, "crash <node>")
+		l.nw.CrashNode(args[0])
+		fmt.Printf("%s crashed\n", args[0])
+	case "restore":
+		l.need(args, 1, "restore <node>")
+		l.nw.RestoreNode(args[0])
+		fmt.Printf("%s restored\n", args[0])
+	case "cut":
+		l.need(args, 1, "cut <net>")
+		l.nw.SetNetDown(args[0], true)
+	case "uncut":
+		l.need(args, 1, "uncut <net>")
+		l.nw.SetNetDown(args[0], false)
+	case "tap":
+		l.need(args, 1, "tap <node>")
+		name := args[0]
+		buf := &trace.Buffer{Limit: 200}
+		l.taps[name] = buf
+		k := l.nw.Kernel()
+		l.nw.Node(name).SetPacketTap(func(send bool, iface string, raw []byte) {
+			dir := trace.Recv
+			if send {
+				dir = trace.Send
+			}
+			buf.Add(trace.Event{At: k.Now(), Node: name, Dir: dir, Iface: iface, Raw: append([]byte(nil), raw...)})
+		})
+	case "dump":
+		l.need(args, 1, "dump <node>")
+		if buf, ok := l.taps[args[0]]; ok {
+			fmt.Print(buf.String())
+			buf.Events = nil
+		} else {
+			l.fail("no tap on %q (use: tap %s)", args[0], args[0])
+		}
+	case "trace":
+		l.need(args, 2, "trace <from> <to>")
+		from := args[0]
+		l.nw.Node(from).Traceroute(l.nw.Addr(args[1]), 30, time.Second, func(hops []stack.Hop) {
+			fmt.Printf("trace %s -> %s:\n", from, args[1])
+			for i, h := range hops {
+				if h.Addr.IsZero() {
+					fmt.Printf("  %2d  *\n", i+1)
+					continue
+				}
+				mark := ""
+				if h.Reached {
+					mark = "  (destination)"
+				}
+				fmt.Printf("  %2d  %-15s %.2fms%s\n", i+1, h.Addr, float64(h.RTT)/1e6, mark)
+			}
+		})
+	case "routes":
+		l.need(args, 1, "routes <node>")
+		fmt.Printf("routes at %s:\n%s", args[0], l.nw.Node(args[0]).Table.String())
+	case "stats":
+		l.need(args, 1, "stats <node>")
+		s := l.nw.Node(args[0]).Stats()
+		fmt.Printf("%s: in=%d delivered=%d forwarded=%d out=%d noroute=%d ttl=%d frag=%d\n",
+			args[0], s.InReceives, s.InDelivers, s.Forwarded, s.OutRequests,
+			s.NoRoute, s.TTLDrops, s.FragCreated)
+	case "transfers":
+		for _, tr := range l.transfers {
+			pct := 100 * float64(*tr.received) / float64(tr.target)
+			fmt.Printf("%s: %s / %s (%.1f%%)\n", tr.name,
+				stats.HumanBytes(uint64(*tr.received)), stats.HumanBytes(uint64(tr.target)), pct)
+		}
+	case "experiment":
+		l.need(args, 1, "experiment <id>")
+		e, ok := exp.ByID(strings.ToUpper(args[0]))
+		if !ok {
+			l.fail("unknown experiment %q", args[0])
+		}
+		fmt.Println(e.Run(1988).String())
+	default:
+		l.fail("unknown command %q", cmd)
+	}
+}
+
+func (l *lab) need(args []string, n int, usage string) {
+	if len(args) < n {
+		l.fail("usage: %s", usage)
+	}
+}
+
+func (l *lab) cmdNet(args []string) {
+	if len(args) < 3 {
+		l.fail("usage: net <name> <prefix> <kind> [opts]")
+	}
+	var kind core.NetKind
+	switch args[2] {
+	case "lan":
+		kind = core.LAN
+	case "p2p":
+		kind = core.P2P
+	case "radio":
+		kind = core.Radio
+	default:
+		l.fail("unknown net kind %q", args[2])
+	}
+	cfg := phys.Config{BitsPerSec: 10_000_000, Delay: time.Millisecond, MTU: 1500}
+	for _, opt := range args[3:] {
+		k, v, ok := strings.Cut(opt, "=")
+		if !ok {
+			l.fail("bad option %q", opt)
+		}
+		switch k {
+		case "rate":
+			cfg.BitsPerSec, _ = strconv.ParseInt(v, 10, 64)
+		case "delay":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				l.fail("bad delay %q", v)
+			}
+			cfg.Delay = d
+		case "mtu":
+			cfg.MTU, _ = strconv.Atoi(v)
+		case "loss":
+			cfg.Loss, _ = strconv.ParseFloat(v, 64)
+		case "queue":
+			cfg.QueueLimit, _ = strconv.Atoi(v)
+		default:
+			l.fail("unknown option %q", k)
+		}
+	}
+	l.nw.AddNet(args[0], args[1], kind, cfg)
+}
+
+func (l *lab) startTransfer(from, to string, nbytes int, port uint16) {
+	received := new(int)
+	l.nw.TCP(to).Listen(port, tcp.Options{}, func(c *tcp.Conn) {
+		c.OnData(func(b []byte) { *received += len(b) })
+	})
+	conn, err := l.nw.TCP(from).Dial(tcp.Endpoint{Addr: l.nw.Addr(to), Port: port}, tcp.Options{SendBufferSize: 65535})
+	if err != nil {
+		l.fail("dial: %v", err)
+	}
+	rest := make([]byte, nbytes)
+	push := func() {
+		for len(rest) > 0 {
+			n, err := conn.Write(rest)
+			if n == 0 || err != nil {
+				return
+			}
+			rest = rest[n:]
+		}
+		conn.Close()
+	}
+	conn.OnEstablished(push)
+	conn.OnWriteSpace(push)
+	name := fmt.Sprintf("%s->%s:%d", from, to, port)
+	l.transfers[name] = &transferState{name: name, target: nbytes, received: received, conn: conn}
+	fmt.Printf("transfer %s started (%s)\n", name, stats.HumanBytes(uint64(nbytes)))
+}

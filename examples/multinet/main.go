@@ -1,0 +1,84 @@
+// Multinet: the varieties-of-networks demo from the paper's third goal.
+//
+// One TCP connection runs from a host on a lossy packet-radio net, across
+// a 56 kb/s ARPANET-style serial trunk with a tiny MTU, onto an
+// Ethernet-like LAN — three networks that agree on nothing except their
+// willingness to carry an IP datagram. Gateways fragment en route; only
+// the destination reassembles; TCP's endpoints absorb the loss.
+//
+//	go run ./examples/multinet
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"darpanet/internal/core"
+	"darpanet/internal/phys"
+	"darpanet/internal/stats"
+	"darpanet/internal/tcp"
+)
+
+func main() {
+	nw := core.New(1977)
+
+	nw.AddNet("radio", "10.1.0.0/24", core.Radio, phys.Config{
+		BitsPerSec: 100_000, Delay: 5 * time.Millisecond,
+		Jitter: 15 * time.Millisecond, Loss: 0.04, MTU: 576, QueueLimit: 32,
+	})
+	nw.AddNet("serial", "10.2.0.0/24", core.P2P, phys.Config{
+		BitsPerSec: 56_000, Delay: 25 * time.Millisecond, MTU: 296, QueueLimit: 32,
+	})
+	nw.AddNet("lan", "10.3.0.0/24", core.LAN, phys.Config{
+		BitsPerSec: 10_000_000, Delay: time.Millisecond, MTU: 1500,
+	})
+
+	nw.AddHost("rover", "radio") // a packet-radio van, as in 1977
+	nw.AddGateway("g1", "radio", "serial")
+	nw.AddGateway("g2", "serial", "lan")
+	nw.AddHost("mainframe", "lan")
+	nw.InstallStaticRoutes()
+
+	const size = 200_000
+	received := 0
+	var doneAt float64
+	nw.TCP("mainframe").Listen(23, tcp.Options{}, func(c *tcp.Conn) {
+		c.OnData(func(b []byte) {
+			received += len(b)
+			if received >= size {
+				doneAt = nw.Now().Seconds()
+			}
+		})
+	})
+	conn, _ := nw.TCP("rover").Dial(tcp.Endpoint{Addr: nw.Addr("mainframe"), Port: 23}, tcp.Options{})
+	rest := make([]byte, size)
+	push := func() {
+		for len(rest) > 0 {
+			n, err := conn.Write(rest)
+			if n == 0 || err != nil {
+				return
+			}
+			rest = rest[n:]
+		}
+		conn.Close()
+	}
+	conn.OnEstablished(push)
+	conn.OnWriteSpace(push)
+
+	nw.RunFor(10 * time.Minute)
+
+	st := conn.Stats()
+	fmt.Println("rover(radio) -> g1 -> serial56k/MTU296 -> g2 -> LAN -> mainframe")
+	fmt.Printf("delivered %s / %s in %.1fs (goodput %s)\n",
+		stats.HumanBytes(uint64(received)), stats.HumanBytes(size), doneAt,
+		stats.HumanRate(float64(received)*8/doneAt))
+	fmt.Printf("radio loss cost the endpoints %d retransmits (%d fast)\n",
+		st.Retransmits, st.FastRetransmits)
+	for _, gw := range []string{"g1", "g2"} {
+		s := nw.Node(gw).Stats()
+		fmt.Printf("%s: forwarded %d, created %d fragments\n", gw, s.Forwarded, s.FragCreated)
+	}
+	rs := nw.Node("mainframe").Reassembler().Stats()
+	fmt.Printf("mainframe reassembled %d datagrams from %d fragments (only the destination reassembles)\n",
+		rs.Datagrams, rs.Fragments)
+}

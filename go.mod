@@ -1,0 +1,3 @@
+module darpanet
+
+go 1.22

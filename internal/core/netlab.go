@@ -1,0 +1,434 @@
+// Package core assembles darpanet's pieces into runnable internetworks:
+// it is the public facade a user of the library builds topologies with.
+//
+// A Network owns a simulation kernel, the media (LANs, serial trunks,
+// radio nets), and the nodes (hosts and gateways) attached to them. It
+// automates the bookkeeping the lower layers leave explicit — address
+// assignment, neighbor tables, static-route computation — and provides
+// the fault-injection switches (crash a gateway, cut a net) that the
+// paper's survivability goal is tested against.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"darpanet/internal/ipv4"
+	"darpanet/internal/phys"
+	"darpanet/internal/rip"
+	"darpanet/internal/sim"
+	"darpanet/internal/stack"
+	"darpanet/internal/tcp"
+	"darpanet/internal/udp"
+)
+
+// NetKind selects the medium technology of a network.
+type NetKind int
+
+// The supported media, mirroring the paper's list of network varieties the
+// architecture had to span.
+const (
+	LAN   NetKind = iota // shared bus, Ethernet-like
+	P2P                  // point-to-point trunk, ARPANET-like
+	Radio                // lossy broadcast net, packet-radio-like
+)
+
+// netInfo tracks one network and the stations on it.
+type netInfo struct {
+	name     string
+	kind     NetKind
+	medium   phys.Medium
+	prefix   ipv4.Prefix
+	nextHost int
+	stations []station
+}
+
+type station struct {
+	node *stack.Node
+	ifc  *stack.Interface
+}
+
+// Network is a simulated internetwork under construction or in operation.
+type Network struct {
+	kernel *sim.Kernel
+	nodes  map[string]*stack.Node
+	udps   map[string]*udp.Transport
+	tcps   map[string]*tcp.Transport
+	rips   map[string]*rip.Router
+	nets   map[string]*netInfo
+	order  []string // node insertion order, for deterministic iteration
+}
+
+// New creates an empty network driven by a fresh kernel seeded with seed.
+func New(seed int64) *Network {
+	return &Network{
+		kernel: sim.NewKernel(seed),
+		nodes:  make(map[string]*stack.Node),
+		udps:   make(map[string]*udp.Transport),
+		tcps:   make(map[string]*tcp.Transport),
+		rips:   make(map[string]*rip.Router),
+		nets:   make(map[string]*netInfo),
+	}
+}
+
+// Kernel returns the simulation kernel.
+func (nw *Network) Kernel() *sim.Kernel { return nw.kernel }
+
+// RunFor advances the simulation d of simulated time.
+func (nw *Network) RunFor(d sim.Duration) { nw.kernel.RunFor(d) }
+
+// Now returns the current simulated time.
+func (nw *Network) Now() sim.Time { return nw.kernel.Now() }
+
+// AddNet creates a network named name with the given address prefix,
+// medium kind and transmission characteristics.
+func (nw *Network) AddNet(name, prefix string, kind NetKind, cfg phys.Config) {
+	if _, dup := nw.nets[name]; dup {
+		panic(fmt.Sprintf("core: duplicate net %q", name))
+	}
+	var m phys.Medium
+	switch kind {
+	case LAN:
+		m = phys.NewBus(nw.kernel, name, cfg)
+	case P2P:
+		m = phys.NewP2P(nw.kernel, name, cfg)
+	case Radio:
+		m = phys.NewRadio(nw.kernel, name, cfg)
+	default:
+		panic("core: unknown net kind")
+	}
+	nw.nets[name] = &netInfo{
+		name:     name,
+		kind:     kind,
+		medium:   m,
+		prefix:   ipv4.MustParsePrefix(prefix),
+		nextHost: 1,
+	}
+}
+
+// Medium returns the medium implementing the named net, for direct fault
+// injection or qdisc installation.
+func (nw *Network) Medium(net string) phys.Medium { return nw.mustNet(net).medium }
+
+// Prefix returns the address prefix of the named net.
+func (nw *Network) Prefix(net string) ipv4.Prefix { return nw.mustNet(net).prefix }
+
+func (nw *Network) mustNet(name string) *netInfo {
+	n, ok := nw.nets[name]
+	if !ok {
+		panic(fmt.Sprintf("core: unknown net %q", name))
+	}
+	return n
+}
+
+func (nw *Network) mustNode(name string) *stack.Node {
+	n, ok := nw.nodes[name]
+	if !ok {
+		panic(fmt.Sprintf("core: unknown node %q", name))
+	}
+	return n
+}
+
+// AddHost creates a non-forwarding node attached to the given nets.
+func (nw *Network) AddHost(name string, nets ...string) *stack.Node {
+	return nw.addNode(name, false, nets)
+}
+
+// AddGateway creates a forwarding node attached to the given nets.
+func (nw *Network) AddGateway(name string, nets ...string) *stack.Node {
+	return nw.addNode(name, true, nets)
+}
+
+func (nw *Network) addNode(name string, forwarding bool, nets []string) *stack.Node {
+	if _, dup := nw.nodes[name]; dup {
+		panic(fmt.Sprintf("core: duplicate node %q", name))
+	}
+	n := stack.NewNode(nw.kernel, name)
+	n.Forwarding = forwarding
+	nw.nodes[name] = n
+	nw.order = append(nw.order, name)
+	for _, netName := range nets {
+		nw.attach(n, netName)
+	}
+	return n
+}
+
+// attach joins the node to a net at the next free host address and wires
+// neighbor tables both ways with every existing station.
+func (nw *Network) attach(n *stack.Node, netName string) *stack.Interface {
+	ni := nw.mustNet(netName)
+	addr := ni.prefix.Host(ni.nextHost)
+	ni.nextHost++
+	ifc := n.AttachInterface(ni.medium, addr, ni.prefix)
+	for _, st := range ni.stations {
+		st.ifc.AddNeighbor(ifc.Addr, ifc.NIC.Addr())
+		ifc.AddNeighbor(st.ifc.Addr, st.ifc.NIC.Addr())
+	}
+	ni.stations = append(ni.stations, station{node: n, ifc: ifc})
+	return ifc
+}
+
+// AttachNodeToNet joins an existing node to an additional network,
+// assigning the next free host address there.
+func (nw *Network) AttachNodeToNet(node, net string) *stack.Interface {
+	return nw.attach(nw.mustNode(node), net)
+}
+
+// Node returns the named node.
+func (nw *Network) Node(name string) *stack.Node { return nw.mustNode(name) }
+
+// Nodes returns all node names in insertion order.
+func (nw *Network) Nodes() []string {
+	out := make([]string, len(nw.order))
+	copy(out, nw.order)
+	return out
+}
+
+// Addr returns the primary address of the named node.
+func (nw *Network) Addr(name string) ipv4.Addr { return nw.mustNode(name).Addr() }
+
+// UDP returns (creating on first use) the node's UDP transport.
+func (nw *Network) UDP(name string) *udp.Transport {
+	if t, ok := nw.udps[name]; ok {
+		return t
+	}
+	t := udp.New(nw.mustNode(name))
+	nw.udps[name] = t
+	return t
+}
+
+// TCP returns (creating on first use) the node's TCP transport.
+func (nw *Network) TCP(name string) *tcp.Transport {
+	if t, ok := nw.tcps[name]; ok {
+		return t
+	}
+	t := tcp.New(nw.mustNode(name))
+	nw.tcps[name] = t
+	return t
+}
+
+// SetDefaultRoute installs a static default route on host via gateway gw,
+// which must share a network with the host.
+func (nw *Network) SetDefaultRoute(host, gw string) {
+	h := nw.mustNode(host)
+	g := nw.mustNode(gw)
+	for _, hi := range h.Interfaces() {
+		for _, gi := range g.Interfaces() {
+			if hi.Prefix == gi.Prefix {
+				h.Table.Add(stack.Route{
+					Prefix:  ipv4.MustParsePrefix("0.0.0.0/0"),
+					Via:     gi.Addr,
+					IfIndex: hi.Index,
+					Source:  stack.SourceStatic,
+				})
+				return
+			}
+		}
+	}
+	panic(fmt.Sprintf("core: %s and %s share no network", host, gw))
+}
+
+// EnableRIP starts the distance-vector routing protocol on the named
+// nodes (all nodes when none are named).
+func (nw *Network) EnableRIP(cfg rip.Config, names ...string) {
+	if len(names) == 0 {
+		names = nw.order
+	}
+	for _, name := range names {
+		if _, dup := nw.rips[name]; dup {
+			continue
+		}
+		r, err := rip.New(nw.mustNode(name), nw.UDP(name), cfg)
+		if err != nil {
+			panic(fmt.Sprintf("core: rip on %s: %v", name, err))
+		}
+		nw.rips[name] = r
+		r.Start()
+	}
+}
+
+// RIP returns the node's routing process, or nil if RIP is not enabled
+// there.
+func (nw *Network) RIP(name string) *rip.Router { return nw.rips[name] }
+
+// InstallStaticRoutes computes shortest paths over the current topology
+// with a central oracle and installs static routes on every node — the
+// "routing without the distributed protocol" baseline, also handy for
+// topologies whose tests do not exercise routing dynamics.
+func (nw *Network) InstallStaticRoutes() {
+	for _, name := range nw.order {
+		nw.installStaticFor(name)
+	}
+}
+
+// installStaticFor runs a BFS from the node across gateways and installs
+// one static route per remote prefix.
+func (nw *Network) installStaticFor(srcName string) {
+	src := nw.mustNode(srcName)
+
+	type hop struct {
+		node    *stack.Node
+		via     ipv4.Addr // first-hop neighbor address from src
+		ifIndex int       // interface at src
+		dist    int
+	}
+	visited := map[*stack.Node]hop{src: {node: src}}
+	queue := []hop{{node: src}}
+
+	// prefix -> best (via, ifIndex, dist)
+	type routeChoice struct {
+		via     ipv4.Addr
+		ifIndex int
+		dist    int
+	}
+	best := make(map[ipv4.Prefix]routeChoice)
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		// A non-forwarding node is reachable but routes nothing onward:
+		// neither its other networks nor its neighbors are reachable
+		// through it.
+		if cur.node != src && !cur.node.Forwarding {
+			continue
+		}
+		// Record the networks this node attaches to.
+		for _, ifc := range cur.node.Interfaces() {
+			p := ifc.Prefix
+			if _, direct := directPrefix(src, p); direct {
+				continue
+			}
+			if b, ok := best[p]; !ok || cur.dist < b.dist {
+				best[p] = routeChoice{via: cur.via, ifIndex: cur.ifIndex, dist: cur.dist}
+			}
+		}
+		for _, ifc := range cur.node.Interfaces() {
+			ni := nw.netFor(ifc.Prefix)
+			if ni == nil {
+				continue
+			}
+			for _, st := range ni.stations {
+				if _, seen := visited[st.node]; seen {
+					continue
+				}
+				next := hop{node: st.node, via: cur.via, ifIndex: cur.ifIndex, dist: cur.dist + 1}
+				if cur.node == src {
+					next.via = st.ifc.Addr
+					next.ifIndex = ifc.Index
+				}
+				visited[st.node] = next
+				queue = append(queue, next)
+			}
+		}
+	}
+
+	// Install, deterministically ordered.
+	prefixes := make([]ipv4.Prefix, 0, len(best))
+	for p := range best {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool {
+		if prefixes[i].Addr != prefixes[j].Addr {
+			return prefixes[i].Addr < prefixes[j].Addr
+		}
+		return prefixes[i].Bits < prefixes[j].Bits
+	})
+	for _, p := range prefixes {
+		c := best[p]
+		src.Table.Add(stack.Route{
+			Prefix:  p,
+			Via:     c.via,
+			IfIndex: c.ifIndex,
+			Metric:  c.dist,
+			Source:  stack.SourceStatic,
+		})
+	}
+}
+
+// directPrefix reports whether node attaches to prefix directly.
+func directPrefix(n *stack.Node, p ipv4.Prefix) (*stack.Interface, bool) {
+	for _, ifc := range n.Interfaces() {
+		if ifc.Prefix == p {
+			return ifc, true
+		}
+	}
+	return nil, false
+}
+
+// netFor finds the netInfo with the given prefix.
+func (nw *Network) netFor(p ipv4.Prefix) *netInfo {
+	for _, ni := range nw.nets {
+		if ni.prefix == p {
+			return ni
+		}
+	}
+	return nil
+}
+
+// CrashNode takes every interface of the node down — the paper's gateway
+// failure. The node loses nothing it needs (it holds no conversation
+// state); the question survivability asks is whether everyone else copes.
+func (nw *Network) CrashNode(name string) {
+	for _, ifc := range nw.mustNode(name).Interfaces() {
+		ifc.NIC.SetUp(false)
+	}
+}
+
+// RestoreNode brings a crashed node's interfaces back up.
+func (nw *Network) RestoreNode(name string) {
+	for _, ifc := range nw.mustNode(name).Interfaces() {
+		ifc.NIC.SetUp(true)
+	}
+}
+
+// SetNetDown cuts (or restores) an entire network medium.
+func (nw *Network) SetNetDown(net string, down bool) {
+	nw.mustNet(net).medium.SetDown(down)
+}
+
+// EnablePriorityQueueing installs a ToS-precedence strict-priority qdisc
+// on every interface of the named node. Higher IP precedence is served
+// first; within a band the discipline is FIFO with perBand capacity.
+func (nw *Network) EnablePriorityQueueing(name string, perBand int) {
+	n := nw.mustNode(name)
+	n.PriorityQueueing = true
+	for _, ifc := range n.Interfaces() {
+		ifc.NIC.SetQdisc(phys.NewPriority(8, perBand, classifyPrecedence))
+	}
+}
+
+// classifyPrecedence maps a frame payload (an IP datagram) to its
+// precedence band.
+func classifyPrecedence(payload []byte) int {
+	if len(payload) < 2 || payload[0]>>4 != 4 {
+		return 0
+	}
+	return ipv4.Precedence(payload[1])
+}
+
+// AllPrefixes returns every network prefix in the topology, sorted.
+func (nw *Network) AllPrefixes() []ipv4.Prefix {
+	out := make([]ipv4.Prefix, 0, len(nw.nets))
+	for _, ni := range nw.nets {
+		out = append(out, ni.prefix)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr < out[j].Addr
+		}
+		return out[i].Bits < out[j].Bits
+	})
+	return out
+}
+
+// Converged reports whether every RIP-enabled node knows a live route to
+// every network in the topology.
+func (nw *Network) Converged() bool {
+	want := nw.AllPrefixes()
+	for _, r := range nw.rips {
+		if !r.Converged(want) {
+			return false
+		}
+	}
+	return len(nw.rips) > 0
+}

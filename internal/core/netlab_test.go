@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"darpanet/internal/ipv4"
+	"darpanet/internal/phys"
+	"darpanet/internal/sim"
+)
+
+// chainNet builds h1 - gw1 - gw2 - h2 over three P2P trunks... actually:
+// lanA(h1,gw1) - trunk(gw1,gw2) - lanB(gw2,h2).
+func chainNet(seed int64) *Network {
+	nw := New(seed)
+	nw.AddNet("lanA", "10.0.1.0/24", LAN, phys.Config{BitsPerSec: 10_000_000, Delay: time.Millisecond, MTU: 1500})
+	nw.AddNet("trunk", "10.0.9.0/24", P2P, phys.Config{BitsPerSec: 1_544_000, Delay: 5 * time.Millisecond, MTU: 1500})
+	nw.AddNet("lanB", "10.0.2.0/24", LAN, phys.Config{BitsPerSec: 10_000_000, Delay: time.Millisecond, MTU: 1500})
+	nw.AddHost("h1", "lanA")
+	nw.AddGateway("gw1", "lanA", "trunk")
+	nw.AddGateway("gw2", "trunk", "lanB")
+	nw.AddHost("h2", "lanB")
+	return nw
+}
+
+func TestStaticRoutesEndToEnd(t *testing.T) {
+	nw := chainNet(1)
+	nw.InstallStaticRoutes()
+	got := 0
+	nw.Node("h1").Ping(nw.Addr("h2"), 3, 10*time.Millisecond, func(uint16, sim.Duration) { got++ })
+	nw.RunFor(2 * time.Second)
+	if got != 3 {
+		t.Fatalf("replies = %d, want 3", got)
+	}
+}
+
+func TestStaticRoutesMetricIsHopCount(t *testing.T) {
+	nw := chainNet(1)
+	nw.InstallStaticRoutes()
+	r, ok := nw.Node("h1").Table.Lookup(nw.Addr("h2"))
+	if !ok {
+		t.Fatal("no route")
+	}
+	// h1 -> gw1 (dist 1) -> gw2 (dist 2) attaches lanB.
+	if r.Metric != 2 {
+		t.Fatalf("metric = %d, want 2", r.Metric)
+	}
+	if r.Via != nw.Addr("gw1") {
+		t.Fatalf("via = %v, want gw1 %v", r.Via, nw.Addr("gw1"))
+	}
+}
+
+func TestStaticRoutesDoNotTransitHosts(t *testing.T) {
+	// h1 and h2 share lanMid with a multihomed *host* hm; routing to
+	// each other's stub nets must not pass through hm.
+	nw := New(1)
+	nw.AddNet("stub1", "10.1.0.0/24", LAN, phys.Config{MTU: 1500})
+	nw.AddNet("mid", "10.2.0.0/24", LAN, phys.Config{MTU: 1500})
+	nw.AddNet("stub2", "10.3.0.0/24", LAN, phys.Config{MTU: 1500})
+	nw.AddHost("hm", "stub1", "stub2") // multihomed host, not forwarding
+	nw.AddHost("h1", "stub1")
+	nw.AddHost("h2", "stub2")
+	nw.InstallStaticRoutes()
+	if _, ok := nw.Node("h1").Table.Lookup(nw.Addr("h2")); ok {
+		t.Fatal("found a route that transits a non-forwarding host")
+	}
+}
+
+func TestCrashAndRestoreNode(t *testing.T) {
+	nw := chainNet(1)
+	nw.InstallStaticRoutes()
+	got := 0
+	nw.CrashNode("gw1")
+	nw.Node("h1").Ping(nw.Addr("h2"), 1, time.Millisecond, func(uint16, sim.Duration) { got++ })
+	nw.RunFor(time.Second)
+	if got != 0 {
+		t.Fatal("ping crossed a crashed gateway")
+	}
+	nw.RestoreNode("gw1")
+	nw.Node("h1").Ping(nw.Addr("h2"), 1, time.Millisecond, func(uint16, sim.Duration) { got++ })
+	nw.RunFor(time.Second)
+	if got != 1 {
+		t.Fatal("ping failed after restore")
+	}
+}
+
+func TestSetNetDown(t *testing.T) {
+	nw := chainNet(1)
+	nw.InstallStaticRoutes()
+	got := 0
+	nw.SetNetDown("trunk", true)
+	nw.Node("h1").Ping(nw.Addr("h2"), 1, time.Millisecond, func(uint16, sim.Duration) { got++ })
+	nw.RunFor(time.Second)
+	if got != 0 {
+		t.Fatal("ping crossed a cut net")
+	}
+	nw.SetNetDown("trunk", false)
+	nw.Node("h1").Ping(nw.Addr("h2"), 1, time.Millisecond, func(uint16, sim.Duration) { got++ })
+	nw.RunFor(time.Second)
+	if got != 1 {
+		t.Fatal("ping failed after net restore")
+	}
+}
+
+func TestAddrAssignmentSequential(t *testing.T) {
+	nw := New(1)
+	nw.AddNet("lan", "10.5.0.0/24", LAN, phys.Config{MTU: 1500})
+	nw.AddHost("a", "lan")
+	nw.AddHost("b", "lan")
+	nw.AddHost("c", "lan")
+	if nw.Addr("a") != ipv4.MustParseAddr("10.5.0.1") ||
+		nw.Addr("b") != ipv4.MustParseAddr("10.5.0.2") ||
+		nw.Addr("c") != ipv4.MustParseAddr("10.5.0.3") {
+		t.Fatalf("addresses: %v %v %v", nw.Addr("a"), nw.Addr("b"), nw.Addr("c"))
+	}
+}
+
+func TestDuplicateNamesPanic(t *testing.T) {
+	nw := New(1)
+	nw.AddNet("lan", "10.5.0.0/24", LAN, phys.Config{})
+	nw.AddHost("a", "lan")
+	for _, fn := range []func(){
+		func() { nw.AddNet("lan", "10.6.0.0/24", LAN, phys.Config{}) },
+		func() { nw.AddHost("a", "lan") },
+		func() { nw.AddHost("b", "nosuch") },
+		func() { nw.Node("ghost") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestClassifyPrecedence(t *testing.T) {
+	dg := []byte{0x45, ipv4.PrecNetControl}
+	if classifyPrecedence(dg) != 7 {
+		t.Fatal("net control should classify to band 7")
+	}
+	if classifyPrecedence([]byte{0x60, 0x00}) != 0 {
+		t.Fatal("non-IPv4 should classify to band 0")
+	}
+	if classifyPrecedence(nil) != 0 {
+		t.Fatal("empty should classify to band 0")
+	}
+}
+
+func TestAllPrefixesSorted(t *testing.T) {
+	nw := chainNet(1)
+	ps := nw.AllPrefixes()
+	if len(ps) != 3 {
+		t.Fatalf("prefixes = %d", len(ps))
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1].Addr > ps[i].Addr {
+			t.Fatal("prefixes not sorted")
+		}
+	}
+}
+
+func TestNodesOrder(t *testing.T) {
+	nw := chainNet(1)
+	want := []string{"h1", "gw1", "gw2", "h2"}
+	got := nw.Nodes()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes() = %v", got)
+		}
+	}
+}
+
+func TestUDPLazySingleton(t *testing.T) {
+	nw := chainNet(1)
+	if nw.UDP("h1") != nw.UDP("h1") {
+		t.Fatal("UDP transport not cached")
+	}
+}

@@ -1,0 +1,63 @@
+// Package exp implements the reproduction experiments: one per
+// architectural claim of the 1988 paper, as indexed in DESIGN.md and
+// reported in EXPERIMENTS.md. Each experiment builds a topology with
+// internal/core, drives workloads, and renders a table; cmd/experiments
+// prints them all and bench_test.go wraps each as a benchmark.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"darpanet/internal/stats"
+)
+
+// Result is one experiment's rendered outcome.
+type Result struct {
+	ID    string
+	Title string
+	Table stats.Table
+	Notes []string
+}
+
+// String renders the result as a report section.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n\n", r.ID, r.Title)
+	b.WriteString(r.Table.String())
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment pairs an ID with its driver.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(seed int64) Result
+}
+
+// All lists the experiments in paper order.
+var All = []Experiment{
+	{"E1", "Survivability: fate-sharing datagrams vs virtual circuits under gateway failure", RunE1},
+	{"E2", "Types of service: four transports on one datagram layer", RunE2},
+	{"E3", "Varieties of networks: one TCP connection across four unlike subnets", RunE3},
+	{"E4", "Distributed management: routing convergence without central control", RunE4},
+	{"E5", "Cost of generality: header and retransmission overhead", RunE5},
+	{"E6", "Host attachment: the damage a naive host's TCP does", RunE6},
+	{"E7", "Accountability: the datagram is the wrong accounting unit", RunE7},
+	{"E8", "Datagrams need no setup: first-byte latency vs circuit establishment", RunE8},
+	{"E9", "Byte-stream sequence space: repacketization on retransmit", RunE9},
+	{"E10", "Flow/congestion control: 1988 TCP with and without Van Jacobson", RunE10},
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,137 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"darpanet/internal/core"
+	"darpanet/internal/phys"
+	"darpanet/internal/tcp"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	if len(All) != 10 {
+		t.Fatalf("experiments = %d, want 10", len(All))
+	}
+	seen := map[string]bool{}
+	for _, e := range All {
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Fatalf("%s incomplete", e.ID)
+		}
+	}
+	if _, ok := ByID("E5"); !ok {
+		t.Fatal("ByID failed")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("ByID invented an experiment")
+	}
+}
+
+func TestStartBulkTCPCompletes(t *testing.T) {
+	nw := core.New(3)
+	nw.AddNet("n", "10.0.0.0/24", core.LAN, phys.Config{BitsPerSec: 10_000_000, Delay: time.Millisecond, MTU: 1500})
+	nw.AddHost("a", "n")
+	nw.AddHost("b", "n")
+	tr := StartBulkTCP(nw, "a", "b", 80, 100_000, tcp.Options{})
+	nw.RunFor(30 * time.Second)
+	if !tr.Done || tr.Received != 100_000 {
+		t.Fatalf("done=%v received=%d", tr.Done, tr.Received)
+	}
+	if tr.ElapsedToDone() <= 0 {
+		t.Fatal("no elapsed time")
+	}
+	if tr.Err != nil {
+		t.Fatalf("err = %v", tr.Err)
+	}
+}
+
+func TestRunUDPQueries(t *testing.T) {
+	nw := core.New(3)
+	nw.AddNet("n", "10.0.0.0/24", core.LAN, phys.Config{BitsPerSec: 10_000_000, Delay: time.Millisecond, MTU: 1500})
+	nw.AddHost("a", "n")
+	nw.AddHost("b", "n")
+	qd := runUDPQueries(nw, "a", "b", 9999, 20, 10*time.Millisecond, 64, 0)
+	nw.RunFor(5 * time.Second)
+	if qd.sent != 20 || qd.got != 20 {
+		t.Fatalf("sent=%d got=%d", qd.sent, qd.got)
+	}
+	for _, rtt := range qd.rtts {
+		if rtt <= 0 || rtt > 100*time.Millisecond {
+			t.Fatalf("implausible rtt %v", rtt)
+		}
+	}
+}
+
+// The experiment smoke tests assert the *shape* of each result — who
+// wins, roughly by how much — matching the reproduction contract in
+// EXPERIMENTS.md. Full determinism is asserted at the repo root.
+
+func cell(r Result, row, col int) string { return r.Table.Rows[row][col] }
+
+func TestE1Shape(t *testing.T) {
+	r := RunE1(1988)
+	// Row layout: pairs of (datagram, vc) per fault; fault #2 is the
+	// gateway crash.
+	if cell(r, 2, 2) != "yes" {
+		t.Fatalf("datagram connection did not survive the crash: %v", r.Table.Rows[2])
+	}
+	if cell(r, 3, 2) != "no" {
+		t.Fatalf("virtual circuit survived a switch crash: %v", r.Table.Rows[3])
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	r := RunE9(1988)
+	// Repacketization must need strictly fewer retransmissions.
+	with := r.Table.Rows[0][2]
+	without := r.Table.Rows[1][2]
+	if with >= without && len(with) >= len(without) {
+		t.Fatalf("repacketization row not better: %q vs %q", with, without)
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	r := RunE8(1988)
+	for _, row := range r.Table.Rows {
+		for _, c := range row[1:] {
+			if c == "never" {
+				t.Fatalf("a first byte never arrived: %v", row)
+			}
+		}
+	}
+	// UDP strictly faster than VC at every hop count.
+	for _, row := range r.Table.Rows {
+		if !strings.HasSuffix(row[1], "ms") || !strings.HasSuffix(row[3], "ms") {
+			t.Fatalf("bad cells: %v", row)
+		}
+	}
+}
+
+func TestPatternBytesDeterministic(t *testing.T) {
+	a, b := patternBytes(1000), patternBytes(1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("pattern not deterministic")
+		}
+	}
+}
+
+func TestYesNoAndHelpers(t *testing.T) {
+	if yesNo(true) != "yes" || yesNo(false) != "no" {
+		t.Fatal("yesNo")
+	}
+	if durStr(-1) != "never" {
+		t.Fatal("durStr negative")
+	}
+	if durStr(1500*time.Millisecond) != "1.5s" {
+		t.Fatalf("durStr = %q", durStr(1500*time.Millisecond))
+	}
+	if msStr(-1) != "never" {
+		t.Fatal("msStr negative")
+	}
+}

@@ -1,0 +1,148 @@
+package exp
+
+import (
+	"darpanet/internal/core"
+	"darpanet/internal/ipv4"
+	"darpanet/internal/sim"
+	"darpanet/internal/tcp"
+	"darpanet/internal/udp"
+)
+
+// Transfer tracks one bulk TCP transfer driven by StartBulkTCP.
+type Transfer struct {
+	Conn     *tcp.Conn
+	Server   *tcp.Conn
+	Received int
+	Target   int
+	Done     bool
+	DoneAt   sim.Time
+	Err      error
+	// LastByteAt records when the most recent byte arrived, for stall
+	// measurement.
+	LastByteAt sim.Time
+	// MaxStall is the longest observed gap between byte arrivals.
+	MaxStall sim.Duration
+	started  sim.Time
+}
+
+// StartBulkTCP opens a TCP connection from -> to on port and streams
+// nbytes of patterned data; the server side counts arrivals. The caller
+// drives the kernel and inspects the returned Transfer.
+func StartBulkTCP(nw *core.Network, from, to string, port uint16, nbytes int, opts tcp.Options) *Transfer {
+	tr := &Transfer{Target: nbytes, started: nw.Now(), LastByteAt: nw.Now()}
+	k := nw.Kernel()
+	nw.TCP(to).Listen(port, opts, func(c *tcp.Conn) {
+		tr.Server = c
+		c.OnData(func(b []byte) {
+			if gap := k.Now().Sub(tr.LastByteAt); gap > tr.MaxStall {
+				tr.MaxStall = gap
+			}
+			tr.LastByteAt = k.Now()
+			tr.Received += len(b)
+			if tr.Received >= tr.Target && !tr.Done {
+				tr.Done = true
+				tr.DoneAt = k.Now()
+			}
+		})
+	})
+	conn, err := nw.TCP(from).Dial(tcp.Endpoint{Addr: nw.Addr(to), Port: port}, opts)
+	if err != nil {
+		tr.Err = err
+		return tr
+	}
+	tr.Conn = conn
+	conn.OnClose(func(err error) {
+		if err != nil && tr.Err == nil {
+			tr.Err = err
+		}
+	})
+	data := patternBytes(nbytes)
+	remaining := data
+	var write func()
+	write = func() {
+		for len(remaining) > 0 {
+			n, err := conn.Write(remaining)
+			if err != nil || n == 0 {
+				return
+			}
+			remaining = remaining[n:]
+		}
+		if len(remaining) == 0 {
+			conn.Close()
+		}
+	}
+	conn.OnWriteSpace(write)
+	conn.OnEstablished(write)
+	return tr
+}
+
+// ElapsedToDone returns the transfer's completion time relative to its
+// start (0 if unfinished).
+func (tr *Transfer) ElapsedToDone() sim.Duration {
+	if !tr.Done {
+		return 0
+	}
+	return tr.DoneAt.Sub(tr.started)
+}
+
+// patternBytes produces position-dependent test data.
+func patternBytes(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i*7 + i>>9)
+	}
+	return p
+}
+
+// startUDPEcho runs a UDP request/response responder on node name at
+// port.
+func startUDPEcho(nw *core.Network, name string, port uint16) {
+	var sock *udp.Socket
+	sock, err := nw.UDP(name).Listen(port, func(from udp.Endpoint, data []byte, _ ipv4.Header) {
+		sock.SendTo(from, data)
+	})
+	if err != nil {
+		panic(err)
+	}
+}
+
+// queryStats drives count UDP request/response transactions from ->
+// responder and records round-trip times in ms into sample. Lost
+// transactions (no reply within timeout) are counted in lost.
+type queryDriver struct {
+	sent, got int
+	rtts      []sim.Duration
+}
+
+// runUDPQueries issues count echo transactions at the given interval and
+// returns per-transaction RTTs (missing entries = lost).
+func runUDPQueries(nw *core.Network, from, to string, port uint16, count int, interval sim.Duration, payload int, tos uint8) *queryDriver {
+	startUDPEcho(nw, to, port)
+	k := nw.Kernel()
+	qd := &queryDriver{}
+	sends := make(map[uint16]sim.Time)
+	sock, _ := nw.UDP(from).Listen(0, func(_ udp.Endpoint, data []byte, _ ipv4.Header) {
+		if len(data) < 2 {
+			return
+		}
+		id := uint16(data[0])<<8 | uint16(data[1])
+		if at, ok := sends[id]; ok {
+			delete(sends, id)
+			qd.got++
+			qd.rtts = append(qd.rtts, k.Now().Sub(at))
+		}
+	})
+	sock.TOS = tos
+	dst := udp.Endpoint{Addr: nw.Addr(to), Port: port}
+	for i := 0; i < count; i++ {
+		i := i
+		k.After(sim.Duration(i)*interval, func() {
+			body := make([]byte, payload)
+			body[0], body[1] = byte(i>>8), byte(i)
+			sends[uint16(i)] = k.Now()
+			qd.sent++
+			sock.SendTo(dst, body)
+		})
+	}
+	return qd
+}

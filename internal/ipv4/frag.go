@@ -1,0 +1,168 @@
+package ipv4
+
+import (
+	"errors"
+	"sort"
+
+	"darpanet/internal/sim"
+)
+
+// ErrFragmentationNeeded is returned when a datagram exceeds the outgoing
+// MTU but carries the don't-fragment flag.
+var ErrFragmentationNeeded = errors.New("ipv4: fragmentation needed but DF set")
+
+// Fragment splits a datagram (header + payload) into fragments whose total
+// length does not exceed mtu. The input header's ID identifies the group;
+// offsets are in 8-byte units as the wire format requires. If the datagram
+// already fits, a single fragment equal to the input is returned.
+//
+// Gateways fragment; only the destination host reassembles — the paper's
+// point that in-network state is avoided even for this mechanism.
+func Fragment(h Header, payload []byte, mtu int) ([]Header, [][]byte, error) {
+	if HeaderLen+len(payload) <= mtu {
+		return []Header{h}, [][]byte{payload}, nil
+	}
+	if h.DF {
+		return nil, nil, ErrFragmentationNeeded
+	}
+	if mtu < HeaderLen+8 {
+		return nil, nil, errors.New("ipv4: mtu too small to fragment")
+	}
+	chunk := (mtu - HeaderLen) &^ 7 // payload per fragment, multiple of 8
+	var hs []Header
+	var ps [][]byte
+	for off := 0; off < len(payload); off += chunk {
+		end := off + chunk
+		more := true
+		if end >= len(payload) {
+			end = len(payload)
+			more = false
+		}
+		fh := h
+		fh.FragOff = h.FragOff + off
+		fh.MF = more || h.MF
+		hs = append(hs, fh)
+		ps = append(ps, payload[off:end])
+	}
+	return hs, ps, nil
+}
+
+// reassemblyKey identifies a fragment group: the RFC 791 tuple.
+type reassemblyKey struct {
+	src, dst Addr
+	proto    uint8
+	id       uint16
+}
+
+type fragPiece struct {
+	off  int
+	data []byte
+}
+
+type fragGroup struct {
+	pieces   []fragPiece
+	totalLen int // payload length once the last fragment arrives; -1 unknown
+	timer    *sim.Timer
+	tos      uint8
+	ttl      uint8
+}
+
+// ReassemblerStats counts reassembly outcomes.
+type ReassemblerStats struct {
+	Datagrams uint64 // complete datagrams produced
+	Fragments uint64 // fragments accepted
+	Timeouts  uint64 // groups dropped at the reassembly deadline
+}
+
+// Reassembler reconstructs datagrams from fragments at the destination
+// host. Incomplete groups are discarded after Timeout, as RFC 791
+// prescribes; there is no per-fragment retransmission — recovering the loss
+// is the transport's job (fate-sharing again).
+type Reassembler struct {
+	k       *sim.Kernel
+	timeout sim.Duration
+	groups  map[reassemblyKey]*fragGroup
+	stats   ReassemblerStats
+}
+
+// DefaultReassemblyTimeout matches the traditional 30-second upper bound.
+const DefaultReassemblyTimeout = 30 * 1e9
+
+// NewReassembler creates a reassembler with the given group timeout
+// (DefaultReassemblyTimeout if zero).
+func NewReassembler(k *sim.Kernel, timeout sim.Duration) *Reassembler {
+	if timeout <= 0 {
+		timeout = sim.Duration(DefaultReassemblyTimeout)
+	}
+	return &Reassembler{k: k, timeout: timeout, groups: make(map[reassemblyKey]*fragGroup)}
+}
+
+// Stats returns a copy of the reassembly counters.
+func (r *Reassembler) Stats() ReassemblerStats { return r.stats }
+
+// Pending returns the number of incomplete fragment groups held.
+func (r *Reassembler) Pending() int { return len(r.groups) }
+
+// Add accepts one fragment. When the fragment completes its datagram, Add
+// returns the reassembled header (offsets cleared, total length of the
+// whole datagram) and full payload with done=true. Unfragmented datagrams
+// pass straight through.
+func (r *Reassembler) Add(h Header, payload []byte) (Header, []byte, bool) {
+	if !h.MF && h.FragOff == 0 {
+		r.stats.Datagrams++
+		return h, payload, true
+	}
+	r.stats.Fragments++
+	key := reassemblyKey{h.Src, h.Dst, h.Proto, h.ID}
+	g := r.groups[key]
+	if g == nil {
+		g = &fragGroup{totalLen: -1, tos: h.TOS, ttl: h.TTL}
+		g.timer = r.k.After(r.timeout, func() {
+			delete(r.groups, key)
+			r.stats.Timeouts++
+		})
+		r.groups[key] = g
+	}
+	g.pieces = append(g.pieces, fragPiece{off: h.FragOff, data: payload})
+	if !h.MF {
+		g.totalLen = h.FragOff + len(payload)
+	}
+	if g.totalLen < 0 {
+		return Header{}, nil, false
+	}
+	// Check contiguous coverage of [0, totalLen).
+	sort.Slice(g.pieces, func(i, j int) bool { return g.pieces[i].off < g.pieces[j].off })
+	covered := 0
+	for _, p := range g.pieces {
+		if p.off > covered {
+			return Header{}, nil, false // hole remains
+		}
+		if end := p.off + len(p.data); end > covered {
+			covered = end
+		}
+	}
+	if covered < g.totalLen {
+		return Header{}, nil, false
+	}
+	// Complete: splice, honoring overlaps by first-writer-wins per byte.
+	buf := make([]byte, g.totalLen)
+	seen := make([]bool, g.totalLen)
+	for _, p := range g.pieces {
+		for i, b := range p.data {
+			if at := p.off + i; at < g.totalLen && !seen[at] {
+				buf[at] = b
+				seen[at] = true
+			}
+		}
+	}
+	g.timer.Stop()
+	delete(r.groups, key)
+	r.stats.Datagrams++
+	out := h
+	out.MF = false
+	out.FragOff = 0
+	out.TOS = g.tos
+	out.TTL = g.ttl
+	out.TotalLen = HeaderLen + g.totalLen
+	return out, buf, true
+}

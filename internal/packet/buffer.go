@@ -1,0 +1,68 @@
+// Package packet provides the byte-level plumbing shared by every protocol
+// layer: a serialization buffer that grows headers by prepending (the
+// gopacket idiom — serialize payload first, then each successively lower
+// layer in front of it), and the Internet checksum from RFC 1071.
+package packet
+
+// Buffer is a serialization buffer in which protocol headers are prepended
+// in front of an existing payload. A packet is built from the top of the
+// stack down: the application payload is appended, then TCP prepends its
+// header, then IP prepends its header, and the final wire image is read
+// with Bytes.
+//
+// The zero value is an empty buffer ready to use.
+type Buffer struct {
+	data  []byte
+	start int // index of first valid byte in data
+}
+
+// NewBuffer returns a buffer with room for headroom bytes of headers in
+// front of the given payload, which is copied.
+func NewBuffer(headroom int, payload []byte) *Buffer {
+	d := make([]byte, headroom+len(payload))
+	copy(d[headroom:], payload)
+	return &Buffer{data: d, start: headroom}
+}
+
+// Bytes returns the current packet image. The slice aliases the buffer's
+// storage and is invalidated by the next Prepend or Append.
+func (b *Buffer) Bytes() []byte { return b.data[b.start:] }
+
+// Len returns the number of valid bytes in the buffer.
+func (b *Buffer) Len() int { return len(b.data) - b.start }
+
+// Prepend makes room for n bytes in front of the current contents and
+// returns the slice to fill in. It grows the buffer if the headroom is
+// exhausted.
+func (b *Buffer) Prepend(n int) []byte {
+	if b.start < n {
+		extra := n - b.start + 64
+		grown := make([]byte, len(b.data)+extra)
+		copy(grown[b.start+extra:], b.data[b.start:])
+		b.data = grown
+		b.start += extra
+	}
+	b.start -= n
+	return b.data[b.start : b.start+n]
+}
+
+// Append adds n bytes after the current contents and returns the slice to
+// fill in.
+func (b *Buffer) Append(n int) []byte {
+	b.data = append(b.data, make([]byte, n)...)
+	return b.data[len(b.data)-n:]
+}
+
+// AppendBytes copies p after the current contents.
+func (b *Buffer) AppendBytes(p []byte) {
+	b.data = append(b.data, p...)
+}
+
+// Clone returns an independent copy of the current packet image. Link
+// models that fan a frame out to several receivers clone it so receivers
+// cannot alias each other's storage.
+func Clone(p []byte) []byte {
+	c := make([]byte, len(p))
+	copy(c, p)
+	return c
+}

@@ -1,0 +1,40 @@
+package packet
+
+import "encoding/binary"
+
+// Checksum computes the Internet checksum (RFC 1071) over data: the 16-bit
+// one's complement of the one's complement sum of the 16-bit words. An odd
+// trailing byte is padded with zero.
+func Checksum(data []byte) uint16 {
+	return FinishChecksum(PartialChecksum(0, data))
+}
+
+// PartialChecksum folds data into an ongoing one's-complement sum. Use it
+// to checksum a packet in pieces (pseudo-header, header, payload), then
+// call FinishChecksum. The pieces after the first must have even length for
+// the fold to be associative; darpanet's pseudo-headers and headers all do.
+func PartialChecksum(sum uint32, data []byte) uint32 {
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i:]))
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	return sum
+}
+
+// FinishChecksum folds the 32-bit accumulator to 16 bits and complements
+// it.
+func FinishChecksum(sum uint32) uint16 {
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// VerifyChecksum reports whether data, which includes its checksum field,
+// sums to the all-ones pattern as RFC 1071 requires of a valid packet.
+func VerifyChecksum(data []byte) bool {
+	return FinishChecksum(PartialChecksum(0, data)) == 0
+}

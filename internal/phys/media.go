@@ -1,0 +1,236 @@
+package phys
+
+import (
+	"fmt"
+
+	"darpanet/internal/packet"
+	"darpanet/internal/sim"
+)
+
+// P2P is a full-duplex point-to-point link — the simulated analogue of the
+// 56 kb/s serial trunks the ARPANET was built from. Exactly two stations
+// may attach; each direction has its own transmitter and queue.
+type P2P struct {
+	k     *sim.Kernel
+	name  string
+	cfg   Config
+	ends  [2]*NIC
+	tx    [2]*transmitter
+	down  bool
+	Drops uint64 // frames dropped at full output queues
+}
+
+// NewP2P creates a point-to-point link with the given characteristics.
+func NewP2P(k *sim.Kernel, name string, cfg Config) *P2P {
+	if cfg.MTU <= 0 {
+		cfg.MTU = 1500
+	}
+	p := &P2P{k: k, name: name, cfg: cfg}
+	for i := range p.tx {
+		p.tx[i] = &transmitter{k: k, cfg: &p.cfg, deliver: p.propagate, drops: &p.Drops}
+	}
+	return p
+}
+
+// Name returns the link's name.
+func (p *P2P) Name() string { return p.name }
+
+// MTU returns the link's maximum frame payload size.
+func (p *P2P) MTU() int { return p.cfg.MTU }
+
+// SetDown makes the link lose all frames (true) or carry them again
+// (false). Frames already in flight still arrive; frames transmitted while
+// down vanish, as on a cut wire.
+func (p *P2P) SetDown(down bool) { p.down = down }
+
+// Attach connects a new interface to the link. It panics on a third
+// attachment: a point-to-point link has exactly two ends.
+func (p *P2P) Attach(name string) *NIC {
+	for i := range p.ends {
+		if p.ends[i] == nil {
+			n := &NIC{name: name, addr: Addr(i + 1), medium: p, up: true}
+			p.ends[i] = n
+			return n
+		}
+	}
+	panic(fmt.Sprintf("phys: P2P link %s already has two ends", p.name))
+}
+
+// Peer returns the interface at the other end of the link from n, or nil.
+func (p *P2P) Peer(n *NIC) *NIC {
+	switch n {
+	case p.ends[0]:
+		return p.ends[1]
+	case p.ends[1]:
+		return p.ends[0]
+	}
+	return nil
+}
+
+func (p *P2P) send(from *NIC, f Frame) {
+	i := 0
+	if from == p.ends[1] {
+		i = 1
+	}
+	p.tx[i].enqueue(from, f)
+}
+
+func (p *P2P) propagate(from *NIC, f Frame) {
+	if p.down {
+		return
+	}
+	if p.cfg.Loss > 0 && p.k.Rand().Float64() < p.cfg.Loss {
+		if peer := p.Peer(from); peer != nil {
+			peer.stats.RxLost++
+		}
+		return
+	}
+	peer := p.Peer(from)
+	if peer == nil {
+		return
+	}
+	if f.Dst != Broadcast && f.Dst != peer.addr {
+		return
+	}
+	peer.deliver(f)
+}
+
+// Bus is a shared-medium LAN in the spirit of early Ethernet: every station
+// hears every frame, the single transmitter is shared (one frame serializes
+// at a time), and broadcast reaches all stations.
+type Bus struct {
+	k        *sim.Kernel
+	name     string
+	cfg      Config
+	stations []*NIC
+	tx       *transmitter
+	next     Addr
+	down     bool
+	Drops    uint64
+}
+
+// NewBus creates a shared-bus LAN.
+func NewBus(k *sim.Kernel, name string, cfg Config) *Bus {
+	if cfg.MTU <= 0 {
+		cfg.MTU = 1500
+	}
+	b := &Bus{k: k, name: name, cfg: cfg, next: 1}
+	b.tx = &transmitter{k: k, cfg: &b.cfg, deliver: b.propagate, drops: &b.Drops}
+	return b
+}
+
+// Name returns the LAN's name.
+func (b *Bus) Name() string { return b.name }
+
+// MTU returns the LAN's maximum frame payload size.
+func (b *Bus) MTU() int { return b.cfg.MTU }
+
+// SetDown makes the LAN lose all frames (true) or carry them again (false).
+func (b *Bus) SetDown(down bool) { b.down = down }
+
+// Attach connects a new station to the LAN.
+func (b *Bus) Attach(name string) *NIC {
+	n := &NIC{name: name, addr: b.next, medium: b, up: true}
+	b.next++
+	b.stations = append(b.stations, n)
+	return n
+}
+
+func (b *Bus) send(from *NIC, f Frame) { b.tx.enqueue(from, f) }
+
+func (b *Bus) propagate(from *NIC, f Frame) {
+	if b.down {
+		return
+	}
+	for _, st := range b.stations {
+		if st == from {
+			continue
+		}
+		if f.Dst != Broadcast && f.Dst != st.addr {
+			continue
+		}
+		if b.cfg.Loss > 0 && b.k.Rand().Float64() < b.cfg.Loss {
+			st.stats.RxLost++
+			continue
+		}
+		g := f
+		if f.Dst == Broadcast {
+			g.Payload = packet.Clone(f.Payload)
+		}
+		st.deliver(g)
+	}
+}
+
+// Radio is a lossy broadcast net modelling the DARPA packet-radio
+// networks: like a Bus but with high independent loss, optional burst loss
+// (a two-state Gilbert–Elliott channel), and per-frame jitter.
+type Radio struct {
+	*Bus
+	// Burst configures Gilbert–Elliott loss: while "bad", frames are
+	// lost with BadLoss; transitions happen per frame.
+	burst     bool
+	pGoodBad  float64 // P(good -> bad) per frame
+	pBadGood  float64 // P(bad -> good) per frame
+	badLoss   float64
+	stateGood bool
+}
+
+// NewRadio creates a lossy broadcast radio net. cfg.Loss is the
+// independent per-frame loss in the good state.
+func NewRadio(k *sim.Kernel, name string, cfg Config) *Radio {
+	if cfg.MTU <= 0 {
+		cfg.MTU = 576
+	}
+	r := &Radio{Bus: NewBus(k, name, cfg), stateGood: true}
+	r.Bus.tx.deliver = r.propagate
+	return r
+}
+
+// EnableBurstLoss switches the radio to a Gilbert–Elliott loss model:
+// per-frame transition probabilities pGoodBad and pBadGood, and loss
+// probability badLoss while in the bad state (the good-state loss stays at
+// cfg.Loss).
+func (r *Radio) EnableBurstLoss(pGoodBad, pBadGood, badLoss float64) {
+	r.burst, r.pGoodBad, r.pBadGood, r.badLoss = true, pGoodBad, pBadGood, badLoss
+}
+
+func (r *Radio) lossNow() float64 {
+	if !r.burst {
+		return r.cfg.Loss
+	}
+	if r.stateGood {
+		if r.k.Rand().Float64() < r.pGoodBad {
+			r.stateGood = false
+		}
+	} else if r.k.Rand().Float64() < r.pBadGood {
+		r.stateGood = true
+	}
+	if r.stateGood {
+		return r.cfg.Loss
+	}
+	return r.badLoss
+}
+
+func (r *Radio) propagate(from *NIC, f Frame) {
+	if r.down {
+		return
+	}
+	loss := r.lossNow()
+	for _, st := range r.stations {
+		if st == from {
+			continue
+		}
+		if f.Dst != Broadcast && f.Dst != st.addr {
+			continue
+		}
+		if loss > 0 && r.k.Rand().Float64() < loss {
+			st.stats.RxLost++
+			continue
+		}
+		g := f
+		if f.Dst == Broadcast {
+			g.Payload = packet.Clone(f.Payload)
+		}
+		st.deliver(g)
+	}
+}

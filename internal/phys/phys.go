@@ -1,0 +1,256 @@
+// Package phys models the physical/link layer: network interfaces and the
+// media that connect them.
+//
+// The 1988 paper's third goal is that the Internet architecture "must
+// accommodate a variety of networks" by assuming almost nothing of them: a
+// network can carry a packet of some reasonable minimum size, with some
+// addressing, and nothing more. This package supplies that variety in
+// simulated form — point-to-point serial lines, shared-bus LANs, and lossy
+// packet-radio nets — each with its own bandwidth, propagation delay, MTU,
+// framing overhead and loss behaviour, so the IP layer above is exercised
+// against the same diversity the ARPANET-era internet faced.
+package phys
+
+import (
+	"fmt"
+
+	"darpanet/internal/sim"
+)
+
+// Addr is a link-level address, unique among the stations of one medium.
+type Addr uint32
+
+// Broadcast is the link-level broadcast address.
+const Broadcast Addr = 0xffffffff
+
+// String formats the address, naming the broadcast address specially.
+func (a Addr) String() string {
+	if a == Broadcast {
+		return "bcast"
+	}
+	return fmt.Sprintf("#%d", uint32(a))
+}
+
+// Frame is a link-level frame: a payload addressed between two stations of
+// one medium.
+type Frame struct {
+	Src, Dst Addr
+	Payload  []byte
+}
+
+// Stats counts a NIC's traffic.
+type Stats struct {
+	TxFrames, TxBytes uint64
+	RxFrames, RxBytes uint64
+	TxDrops           uint64 // dropped at the output queue
+	RxLost            uint64 // lost by the medium on the way in
+}
+
+// NIC is a network interface: the attachment point between a node's stack
+// and a medium. The stack registers a receive function; the medium invokes
+// it for frames addressed to the NIC (or broadcast).
+type NIC struct {
+	name     string
+	addr     Addr
+	medium   Medium
+	up       bool
+	recv     func(Frame)
+	onTxDrop func(payload []byte)
+	stats    Stats
+}
+
+// OnTxDrop registers a callback invoked with the payload of each frame
+// dropped at this interface's output queue. The stack uses it to emit
+// ICMP source quench — the era's (admittedly weak) congestion signal.
+func (n *NIC) OnTxDrop(fn func(payload []byte)) { n.onTxDrop = fn }
+
+// Name returns the interface name given at attach time (e.g. "gw1.eth0").
+func (n *NIC) Name() string { return n.name }
+
+// Addr returns the interface's link-level address on its medium.
+func (n *NIC) Addr() Addr { return n.addr }
+
+// Medium returns the medium the interface is attached to.
+func (n *NIC) Medium() Medium { return n.medium }
+
+// MTU returns the largest payload one frame on this medium may carry.
+func (n *NIC) MTU() int { return n.medium.MTU() }
+
+// Up reports whether the interface is administratively up.
+func (n *NIC) Up() bool { return n.up }
+
+// SetUp raises or lowers the interface. A lowered interface neither sends
+// nor receives; lowering an interface is the fault-injection primitive used
+// by the survivability experiments.
+func (n *NIC) SetUp(up bool) { n.up = up }
+
+// SetReceiver registers the function invoked, on the simulation goroutine,
+// for each frame the medium delivers to this interface.
+func (n *NIC) SetReceiver(fn func(Frame)) { n.recv = fn }
+
+// Stats returns a copy of the interface counters.
+func (n *NIC) Stats() Stats { return n.stats }
+
+// Send transmits payload to the station dst on the NIC's medium. Payloads
+// longer than the medium MTU are a caller bug (the IP layer fragments
+// first) and panic to surface the bug in tests.
+func (n *NIC) Send(dst Addr, payload []byte) {
+	if len(payload) > n.MTU() {
+		panic(fmt.Sprintf("phys: %s: payload %d exceeds MTU %d", n.name, len(payload), n.MTU()))
+	}
+	if !n.up {
+		n.stats.TxDrops++
+		return
+	}
+	n.stats.TxFrames++
+	n.stats.TxBytes += uint64(len(payload))
+	n.medium.send(n, Frame{Src: n.addr, Dst: dst, Payload: payload})
+}
+
+// deliver hands a frame up to the stack if the interface is up.
+func (n *NIC) deliver(f Frame) {
+	if !n.up || n.recv == nil {
+		return
+	}
+	n.stats.RxFrames++
+	n.stats.RxBytes += uint64(len(f.Payload))
+	n.recv(f)
+}
+
+// Medium is a network technology that NICs attach to.
+type Medium interface {
+	// Attach creates a new interface named name on the medium and
+	// returns it. The medium assigns the link address.
+	Attach(name string) *NIC
+	// MTU returns the medium's maximum frame payload size.
+	MTU() int
+	// Name returns the medium's configured name.
+	Name() string
+	// SetDown makes the whole medium lose every frame (true) or resume
+	// carrying traffic (false) — the "loss of networks" fault from the
+	// paper's survivability goal.
+	SetDown(down bool)
+
+	send(from *NIC, f Frame)
+}
+
+// Config holds the transmission characteristics shared by all media.
+type Config struct {
+	// BitsPerSec is the serialization rate. Zero means infinitely fast.
+	BitsPerSec int64
+	// Delay is the one-way propagation delay.
+	Delay sim.Duration
+	// MTU is the maximum frame payload size in bytes.
+	MTU int
+	// Overhead is the per-frame framing overhead in bytes; it consumes
+	// serialization time but is not delivered.
+	Overhead int
+	// Loss is the independent per-frame loss probability in [0,1).
+	Loss float64
+	// QueueLimit bounds the frames waiting for the transmitter; beyond
+	// it frames are dropped (drop tail). Zero means DefaultQueueLimit.
+	QueueLimit int
+	// Jitter, if nonzero, adds a uniform random extra delay in [0,
+	// Jitter) to each frame — the packet-radio store-and-forward
+	// variance the paper's "variety of networks" goal contemplates.
+	Jitter sim.Duration
+}
+
+// DefaultQueueLimit is the output queue bound used when Config.QueueLimit
+// is zero.
+const DefaultQueueLimit = 32
+
+func (c *Config) queueLimit() int {
+	if c.QueueLimit <= 0 {
+		return DefaultQueueLimit
+	}
+	return c.QueueLimit
+}
+
+// serializeTime returns how long a frame of n payload bytes occupies the
+// transmitter.
+func (c *Config) serializeTime(n int) sim.Duration {
+	if c.BitsPerSec <= 0 {
+		return 0
+	}
+	bits := int64(n+c.Overhead) * 8
+	return sim.Duration(bits * int64(1e9) / c.BitsPerSec)
+}
+
+// transmitter serializes frames one at a time at the configured rate, with
+// a queueing discipline holding the frames that wait. Each medium owns one
+// transmitter per sending station (P2P) or one shared (bus, radio).
+type transmitter struct {
+	k       *sim.Kernel
+	cfg     *Config
+	qdisc   Qdisc
+	busy    bool
+	deliver func(from *NIC, f Frame)
+	drops   *uint64
+}
+
+type queuedFrame struct {
+	from *NIC
+	f    Frame
+}
+
+func (t *transmitter) enqueue(from *NIC, f Frame) {
+	if t.busy {
+		if t.qdisc == nil {
+			t.qdisc = NewFIFO(t.cfg.queueLimit())
+		}
+		if !t.qdisc.Enqueue(queuedFrame{from, f}) {
+			if t.drops != nil {
+				*t.drops++
+			}
+			from.stats.TxDrops++
+			if from.onTxDrop != nil {
+				from.onTxDrop(f.Payload)
+			}
+		}
+		return
+	}
+	t.start(from, f)
+}
+
+func (t *transmitter) start(from *NIC, f Frame) {
+	t.busy = true
+	st := t.cfg.serializeTime(len(f.Payload))
+	t.k.After(st, func() {
+		t.busy = false
+		// Propagation begins when serialization ends.
+		d := t.cfg.Delay
+		if t.cfg.Jitter > 0 {
+			d += sim.Duration(t.k.Rand().Int63n(int64(t.cfg.Jitter)))
+		}
+		fr, frame := from, f
+		t.k.After(d, func() { t.deliver(fr, frame) })
+		if t.qdisc != nil {
+			if next, ok := t.qdisc.Dequeue(); ok {
+				t.start(next.from, next.f)
+			}
+		}
+	})
+}
+
+// QueueLen returns the number of frames waiting at the transmitter serving
+// this interface, for tests and congestion diagnostics.
+func (n *NIC) QueueLen() int {
+	var t *transmitter
+	switch m := n.medium.(type) {
+	case *P2P:
+		if m.ends[0] == n {
+			t = m.tx[0]
+		} else {
+			t = m.tx[1]
+		}
+	case *Bus:
+		t = m.tx
+	case *Radio:
+		t = m.Bus.tx
+	}
+	if t == nil || t.qdisc == nil {
+		return 0
+	}
+	return t.qdisc.Len()
+}

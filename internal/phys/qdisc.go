@@ -1,0 +1,124 @@
+package phys
+
+// Qdisc is a queueing discipline for frames waiting at a transmitter. The
+// default is a bounded FIFO; gateways that honour the IP type-of-service
+// field install a priority queue whose classifier peeks at the datagram's
+// precedence bits (the classifier is injected so this package stays
+// ignorant of IP).
+type Qdisc interface {
+	// Enqueue accepts a frame, reporting false if it was dropped.
+	Enqueue(q queuedFrame) bool
+	// Dequeue removes and returns the next frame to transmit.
+	Dequeue() (queuedFrame, bool)
+	// Len returns the number of queued frames.
+	Len() int
+}
+
+// fifoQdisc is a bounded drop-tail FIFO.
+type fifoQdisc struct {
+	frames []queuedFrame
+	limit  int
+}
+
+// NewFIFO returns a bounded drop-tail FIFO discipline.
+func NewFIFO(limit int) Qdisc {
+	if limit <= 0 {
+		limit = DefaultQueueLimit
+	}
+	return &fifoQdisc{limit: limit}
+}
+
+func (q *fifoQdisc) Enqueue(f queuedFrame) bool {
+	if len(q.frames) >= q.limit {
+		return false
+	}
+	q.frames = append(q.frames, f)
+	return true
+}
+
+func (q *fifoQdisc) Dequeue() (queuedFrame, bool) {
+	if len(q.frames) == 0 {
+		return queuedFrame{}, false
+	}
+	f := q.frames[0]
+	copy(q.frames, q.frames[1:])
+	q.frames = q.frames[:len(q.frames)-1]
+	return f, true
+}
+
+func (q *fifoQdisc) Len() int { return len(q.frames) }
+
+// prioQdisc serves strict-priority bands, each a bounded FIFO. Higher band
+// index is served first.
+type prioQdisc struct {
+	bands    [][]queuedFrame
+	perBand  int
+	classify func(payload []byte) int
+}
+
+// NewPriority returns a strict-priority discipline with bands bands of
+// perBand capacity each. classify maps a frame payload to a band in
+// [0, bands); out-of-range results are clamped.
+func NewPriority(bands, perBand int, classify func(payload []byte) int) Qdisc {
+	if bands <= 0 {
+		bands = 8
+	}
+	if perBand <= 0 {
+		perBand = DefaultQueueLimit
+	}
+	return &prioQdisc{bands: make([][]queuedFrame, bands), perBand: perBand, classify: classify}
+}
+
+func (q *prioQdisc) Enqueue(f queuedFrame) bool {
+	b := q.classify(f.f.Payload)
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(q.bands) {
+		b = len(q.bands) - 1
+	}
+	if len(q.bands[b]) >= q.perBand {
+		return false
+	}
+	q.bands[b] = append(q.bands[b], f)
+	return true
+}
+
+func (q *prioQdisc) Dequeue() (queuedFrame, bool) {
+	for b := len(q.bands) - 1; b >= 0; b-- {
+		if len(q.bands[b]) > 0 {
+			f := q.bands[b][0]
+			copy(q.bands[b], q.bands[b][1:])
+			q.bands[b] = q.bands[b][:len(q.bands[b])-1]
+			return f, true
+		}
+	}
+	return queuedFrame{}, false
+}
+
+func (q *prioQdisc) Len() int {
+	n := 0
+	for _, b := range q.bands {
+		n += len(b)
+	}
+	return n
+}
+
+// SetQdisc replaces the queueing discipline of the transmitter that serves
+// this interface. On a point-to-point link each end has its own
+// transmitter; on a bus or radio the single shared transmitter is
+// replaced (all stations share the discipline, as they share the medium).
+func (n *NIC) SetQdisc(q Qdisc) {
+	switch m := n.medium.(type) {
+	case *P2P:
+		if m.ends[0] == n {
+			m.tx[0].qdisc = q
+		} else if m.ends[1] == n {
+			m.tx[1].qdisc = q
+		}
+	case *Bus:
+		m.tx.qdisc = q
+	case *Radio:
+		m.Bus.tx.qdisc = q
+	}
+}

@@ -1,0 +1,183 @@
+package rip_test
+
+import (
+	"testing"
+	"time"
+
+	"darpanet/internal/core"
+	"darpanet/internal/ipv4"
+	"darpanet/internal/phys"
+	"darpanet/internal/rip"
+	"darpanet/internal/sim"
+	"darpanet/internal/stack"
+)
+
+// fastCfg converges in a few simulated seconds.
+func fastCfg() rip.Config {
+	return rip.Config{
+		UpdateInterval: 2 * time.Second,
+		RouteTimeout:   7 * time.Second,
+		GCTimeout:      4 * time.Second,
+		TriggeredDelay: 200 * time.Millisecond,
+	}
+}
+
+// squareNet builds the classic dual-path topology:
+//
+//	lanA--gwA --n1-- gwB--lanB
+//	       |          |
+//	      n4          n2
+//	       |          |
+//	      gwD --n3-- gwC
+//
+// Traffic lanA->lanB can go gwA-gwB or gwA-gwD-gwC-gwB.
+func squareNet(seed int64) *core.Network {
+	nw := core.New(seed)
+	trunk := phys.Config{BitsPerSec: 1_544_000, Delay: 3 * time.Millisecond, MTU: 1500}
+	lan := phys.Config{BitsPerSec: 10_000_000, Delay: time.Millisecond, MTU: 1500}
+	nw.AddNet("lanA", "10.1.0.0/24", core.LAN, lan)
+	nw.AddNet("lanB", "10.2.0.0/24", core.LAN, lan)
+	nw.AddNet("n1", "10.9.1.0/24", core.P2P, trunk)
+	nw.AddNet("n2", "10.9.2.0/24", core.P2P, trunk)
+	nw.AddNet("n3", "10.9.3.0/24", core.P2P, trunk)
+	nw.AddNet("n4", "10.9.4.0/24", core.P2P, trunk)
+	nw.AddHost("h1", "lanA")
+	nw.AddHost("h2", "lanB")
+	nw.AddGateway("gwA", "lanA", "n1", "n4")
+	nw.AddGateway("gwB", "lanB", "n1", "n2")
+	nw.AddGateway("gwC", "n2", "n3")
+	nw.AddGateway("gwD", "n3", "n4")
+	return nw
+}
+
+func TestConvergenceFromColdStart(t *testing.T) {
+	nw := squareNet(1)
+	nw.EnableRIP(fastCfg(), "gwA", "gwB", "gwC", "gwD")
+	if nw.Converged() {
+		t.Fatal("converged before any updates")
+	}
+	nw.RunFor(15 * time.Second)
+	if !nw.Converged() {
+		t.Fatal("not converged after 15s")
+	}
+	// Hosts use a static default; give them one toward their gateway.
+	nw.Node("h1").Table.Add(mkDefault(nw.Addr("gwA")))
+	nw.Node("h2").Table.Add(mkDefault(nw.Addr("gwB")))
+	got := 0
+	nw.Node("h1").Ping(nw.Addr("h2"), 5, 20*time.Millisecond, func(uint16, sim.Duration) { got++ })
+	nw.RunFor(2 * time.Second)
+	if got != 5 {
+		t.Fatalf("pings = %d, want 5", got)
+	}
+}
+
+// mkDefault builds a static default route via the given next hop on
+// interface 0.
+func mkDefault(via ipv4.Addr) stack.Route {
+	return stack.Route{
+		Prefix: ipv4.MustParsePrefix("0.0.0.0/0"),
+		Via:    via,
+		Source: stack.SourceStatic,
+	}
+}
+
+// addrOn returns node's address on the named net.
+func addrOn(nw *core.Network, node, net string) ipv4.Addr {
+	p := nw.Prefix(net)
+	for _, ifc := range nw.Node(node).Interfaces() {
+		if ifc.Prefix == p {
+			return ifc.Addr
+		}
+	}
+	panic("node not on net")
+}
+
+func TestDirectPathPreferred(t *testing.T) {
+	nw := squareNet(1)
+	nw.EnableRIP(fastCfg(), "gwA", "gwB", "gwC", "gwD")
+	nw.RunFor(15 * time.Second)
+	// gwA's route to lanB should be one hop via gwB (metric 2: lanB is
+	// 1 at gwB, +1), not the long way around.
+	r, ok := nw.Node("gwA").Table.Lookup(nw.Addr("h2"))
+	if !ok {
+		t.Fatal("no route")
+	}
+	if r.Via != addrOn(nw, "gwB", "n1") {
+		t.Fatalf("via = %v, want gwB on n1 (%v)", r.Via, addrOn(nw, "gwB", "n1"))
+	}
+	if r.Metric != 2 {
+		t.Fatalf("metric = %d, want 2", r.Metric)
+	}
+}
+
+func TestFailoverAfterGatewayCrash(t *testing.T) {
+	nw := squareNet(1)
+	nw.EnableRIP(fastCfg(), "gwA", "gwB", "gwC", "gwD")
+	nw.RunFor(15 * time.Second)
+	if !nw.Converged() {
+		t.Fatal("not converged")
+	}
+	nw.Node("h1").Table.Add(mkDefault(nw.Addr("gwA")))
+	nw.Node("h2").Table.Add(mkDefault(nw.Addr("gwB")))
+
+	// Cut the direct trunk n1; gwA must reroute to lanB via gwD/gwC.
+	nw.SetNetDown("n1", true)
+	nw.RunFor(30 * time.Second)
+	r, ok := nw.Node("gwA").Table.Lookup(nw.Addr("h2"))
+	if !ok {
+		t.Fatal("no route to lanB after failover window")
+	}
+	if r.Via != addrOn(nw, "gwD", "n4") {
+		t.Fatalf("failover via = %v, want gwD on n4 (%v)", r.Via, addrOn(nw, "gwD", "n4"))
+	}
+	got := 0
+	nw.Node("h1").Ping(nw.Addr("h2"), 3, 20*time.Millisecond, func(uint16, sim.Duration) { got++ })
+	nw.RunFor(2 * time.Second)
+	if got != 3 {
+		t.Fatalf("pings after failover = %d, want 3", got)
+	}
+}
+
+func TestRouteExpiresWhenSilent(t *testing.T) {
+	nw := squareNet(1)
+	cfg := fastCfg()
+	nw.EnableRIP(cfg, "gwA", "gwB", "gwC", "gwD")
+	nw.RunFor(15 * time.Second)
+	// Crash gwC and gwD AND cut n1: lanB becomes unreachable from gwA.
+	nw.CrashNode("gwC")
+	nw.CrashNode("gwD")
+	nw.SetNetDown("n1", true)
+	nw.RunFor(40 * time.Second)
+	if _, ok := nw.Node("gwA").Table.Lookup(nw.Addr("h2")); ok {
+		t.Fatal("stale route to unreachable lanB survived")
+	}
+}
+
+func TestStatsProgress(t *testing.T) {
+	nw := squareNet(1)
+	nw.EnableRIP(fastCfg(), "gwA", "gwB", "gwC", "gwD")
+	nw.RunFor(15 * time.Second)
+	st := nw.RIP("gwA").Stats()
+	if st.UpdatesSent == 0 || st.UpdatesReceived == 0 || st.RouteChanges == 0 {
+		t.Fatalf("stats did not move: %+v", st)
+	}
+	if nw.RIP("gwA").RouteCount() < 6 {
+		t.Fatalf("RouteCount = %d, want >= 6", nw.RIP("gwA").RouteCount())
+	}
+}
+
+func TestRIPRestartRecovers(t *testing.T) {
+	// A gateway crash loses all its routing state; on restore it
+	// relearns everything from neighbors — the state is regenerable,
+	// which is exactly why the architecture may keep it in gateways.
+	nw := squareNet(1)
+	nw.EnableRIP(fastCfg(), "gwA", "gwB", "gwC", "gwD")
+	nw.RunFor(15 * time.Second)
+	nw.CrashNode("gwB")
+	nw.RunFor(20 * time.Second)
+	nw.RestoreNode("gwB")
+	nw.RunFor(20 * time.Second)
+	if !nw.Converged() {
+		t.Fatal("did not reconverge after gateway restore")
+	}
+}

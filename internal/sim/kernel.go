@@ -1,0 +1,202 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Every component of the darpanet stack — links, gateways, TCP timers,
+// routing protocols — is driven by a single Kernel. Time is simulated:
+// nothing in the repository reads the wall clock, so a run with a given
+// topology, workload and seed is reproducible bit for bit. This is the
+// substitution this reproduction makes for the real ARPANET hardware the
+// 1988 paper ran on: the simulated substrate exercises the same protocol
+// code paths (loss, reordering, fragmentation, failure) under a clock we
+// control.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is an instant in simulated time, expressed as nanoseconds since the
+// start of the simulation.
+type Time int64
+
+// Duration re-exports time.Duration so callers express intervals in the
+// familiar unit constants (time.Millisecond etc.) without importing time.
+type Duration = time.Duration
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and earlier instant u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the instant as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// String formats the instant as seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
+
+// event is a scheduled callback. seq breaks ties so that events scheduled
+// for the same instant run in scheduling order (FIFO), which keeps the
+// simulation deterministic.
+type event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 once removed
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the discrete-event scheduler. It is not safe for concurrent
+// use: the entire simulation runs on the caller's goroutine, which is what
+// makes it deterministic.
+type Kernel struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	halted bool
+}
+
+// NewKernel returns a kernel whose random source is seeded with seed.
+// Two kernels with the same seed driving the same topology produce
+// identical runs.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source. All protocol and
+// link-model randomness (loss draws, jitter, ephemeral ports) must come
+// from here, never from the global rand, so that runs are reproducible.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Timer is a handle to a scheduled event that can be stopped before it
+// fires.
+type Timer struct {
+	k *Kernel
+	e *event
+}
+
+// Stop cancels the timer. It reports whether the timer was still pending.
+// Stopping an already-fired or already-stopped timer is a no-op.
+func (t *Timer) Stop() bool {
+	if t == nil || t.e == nil || t.e.index < 0 {
+		return false
+	}
+	heap.Remove(&t.k.events, t.e.index)
+	t.e.fn = nil
+	t.e = nil
+	return true
+}
+
+// Pending reports whether the timer has yet to fire or be stopped.
+func (t *Timer) Pending() bool { return t != nil && t.e != nil && t.e.index >= 0 }
+
+// At schedules fn to run at instant at. Scheduling in the past (or at the
+// present instant) runs the event at the current time but after all events
+// already scheduled for that time.
+func (k *Kernel) At(at Time, fn func()) *Timer {
+	if at < k.now {
+		at = k.now
+	}
+	e := &event{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, e)
+	return &Timer{k: k, e: e}
+}
+
+// After schedules fn to run d from now.
+func (k *Kernel) After(d Duration, fn func()) *Timer {
+	return k.At(k.now.Add(d), fn)
+}
+
+// Defer schedules fn to run at the current instant, after all events
+// already queued for this instant. It is the simulation analogue of
+// "process this on the next trip through the event loop".
+func (k *Kernel) Defer(fn func()) *Timer { return k.At(k.now, fn) }
+
+// Halt stops Run and RunUntil at the next event boundary. Pending events
+// remain queued.
+func (k *Kernel) Halt() { k.halted = true }
+
+// Step executes the single earliest pending event, advancing the clock to
+// its instant. It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	for len(k.events) > 0 {
+		e := heap.Pop(&k.events).(*event)
+		if e.fn == nil { // cancelled but not yet removed (defensive)
+			continue
+		}
+		k.now = e.at
+		fn := e.fn
+		e.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Halt is called. It
+// returns the final simulated time.
+func (k *Kernel) Run() Time {
+	k.halted = false
+	for !k.halted && k.Step() {
+	}
+	return k.now
+}
+
+// RunUntil executes events with instants <= deadline, then sets the clock
+// to deadline (if it has not passed it already) and returns. Events after
+// the deadline remain queued.
+func (k *Kernel) RunUntil(deadline Time) Time {
+	k.halted = false
+	for !k.halted {
+		if len(k.events) == 0 || k.events[0].at > deadline {
+			break
+		}
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+	return k.now
+}
+
+// RunFor executes events for d of simulated time from now.
+func (k *Kernel) RunFor(d Duration) Time { return k.RunUntil(k.now.Add(d)) }
+
+// PendingEvents returns the number of events waiting in the queue. It is
+// intended for tests and diagnostics.
+func (k *Kernel) PendingEvents() int { return len(k.events) }

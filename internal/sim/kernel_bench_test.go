@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventThroughput measures raw scheduler throughput: schedule and
+// fire chained events.
+func BenchmarkEventThroughput(b *testing.B) {
+	k := NewKernel(1)
+	n := 0
+	var chainFn func()
+	chainFn = func() {
+		n++
+		if n < b.N {
+			k.After(time.Microsecond, chainFn)
+		}
+	}
+	b.ResetTimer()
+	k.After(0, chainFn)
+	k.Run()
+	if n != b.N {
+		b.Fatalf("ran %d of %d", n, b.N)
+	}
+}
+
+// BenchmarkTimerChurn measures schedule+cancel cycles, the pattern TCP's
+// retransmission timer produces on every ACK.
+func BenchmarkTimerChurn(b *testing.B) {
+	k := NewKernel(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := k.After(time.Hour, func() {})
+		t.Stop()
+	}
+}
+
+// BenchmarkManyPendingTimers measures heap behaviour with a large pending
+// set, as in a simulation with thousands of live connections.
+func BenchmarkManyPendingTimers(b *testing.B) {
+	k := NewKernel(1)
+	for i := 0; i < 10000; i++ {
+		k.After(time.Duration(i)*time.Second+time.Hour, func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := k.After(time.Minute, func() {})
+		t.Stop()
+	}
+}

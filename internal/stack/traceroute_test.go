@@ -1,0 +1,186 @@
+package stack
+
+import (
+	"testing"
+	"time"
+
+	"darpanet/internal/icmp"
+	"darpanet/internal/ipv4"
+	"darpanet/internal/phys"
+	"darpanet/internal/sim"
+)
+
+// chain builds h1 - gw1 - gw2 - ... - gwN - h2 over P2P links and returns
+// the kernel, endpoints and gateways.
+func chain(t *testing.T, n int) (*sim.Kernel, *Node, *Node, []*Node) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	mk := func(i int) *phys.P2P {
+		return phys.NewP2P(k, "l", phys.Config{BitsPerSec: 10_000_000, Delay: time.Millisecond, MTU: 1500})
+	}
+	links := make([]*phys.P2P, n+1)
+	for i := range links {
+		links[i] = mk(i)
+	}
+	nodes := make([]*Node, n+2)
+	nodes[0] = NewNode(k, "h1")
+	nodes[n+1] = NewNode(k, "h2")
+	var gws []*Node
+	for i := 1; i <= n; i++ {
+		nodes[i] = NewNode(k, "gw")
+		nodes[i].Forwarding = true
+		gws = append(gws, nodes[i])
+	}
+	// Address nets 10.0.i.0/24 along the chain.
+	var prev *Interface
+	for i, node := range nodes {
+		if i > 0 {
+			p := ipv4.MustParsePrefix("10.0.0.0/24")
+			p.Addr = ipv4.AddrFrom4(10, 0, byte(i), 0)
+			ifc := node.AttachInterface(links[i-1], p.Host(2), p)
+			ifc.AddNeighbor(prev.Addr, prev.NIC.Addr())
+			prev.AddNeighbor(ifc.Addr, ifc.NIC.Addr())
+		}
+		if i < len(nodes)-1 {
+			p := ipv4.MustParsePrefix("10.0.0.0/24")
+			p.Addr = ipv4.AddrFrom4(10, 0, byte(i+1), 0)
+			prev = node.AttachInterface(links[i], p.Host(1), p)
+		}
+	}
+	// Static routes: everything left via left neighbor, right via right.
+	def := ipv4.MustParsePrefix("0.0.0.0/0")
+	nodes[0].Table.Add(Route{Prefix: def, Via: ipv4.AddrFrom4(10, 0, 1, 2), Source: SourceStatic})
+	nodes[n+1].Table.Add(Route{Prefix: def, Via: ipv4.AddrFrom4(10, 0, byte(n+1), 1), IfIndex: 0, Source: SourceStatic})
+	for i := 1; i <= n; i++ {
+		gw := nodes[i]
+		// Right side nets j > i via right neighbor; left via left.
+		for j := 1; j <= n+1; j++ {
+			p := ipv4.Prefix{Addr: ipv4.AddrFrom4(10, 0, byte(j), 0), Bits: 24}
+			switch {
+			case j <= i:
+				gw.Table.Add(Route{Prefix: p, Via: ipv4.AddrFrom4(10, 0, byte(i), 1), IfIndex: 0, Source: SourceStatic})
+			case j > i+1:
+				gw.Table.Add(Route{Prefix: p, Via: ipv4.AddrFrom4(10, 0, byte(i+1), 2), IfIndex: 1, Source: SourceStatic})
+			}
+		}
+	}
+	return k, nodes[0], nodes[n+1], gws
+}
+
+func TestTracerouteWalksThePath(t *testing.T) {
+	k, h1, h2, gws := chain(t, 3)
+	var hops []Hop
+	h1.Traceroute(h2.Addr(), 10, time.Second, func(h []Hop) { hops = h })
+	k.RunFor(time.Minute)
+	if len(hops) != 4 {
+		t.Fatalf("hops = %d, want 4 (3 gateways + destination): %+v", len(hops), hops)
+	}
+	for i, gw := range gws {
+		if hops[i].Addr != gw.Interfaces()[0].Addr && hops[i].Addr != gw.Interfaces()[1].Addr {
+			t.Fatalf("hop %d = %v, not an address of gateway %d", i, hops[i].Addr, i)
+		}
+		if hops[i].Reached {
+			t.Fatalf("hop %d claims destination", i)
+		}
+	}
+	last := hops[len(hops)-1]
+	if !last.Reached || last.Addr != h2.Addr() {
+		t.Fatalf("final hop = %+v, want destination", last)
+	}
+	for _, h := range hops {
+		if h.RTT <= 0 {
+			t.Fatalf("hop without RTT: %+v", h)
+		}
+	}
+}
+
+func TestTracerouteStopsAfterSilence(t *testing.T) {
+	k, h1, h2, gws := chain(t, 3)
+	// Kill gw2: probes beyond it vanish silently.
+	for _, ifc := range gws[1].Interfaces() {
+		ifc.NIC.SetUp(false)
+	}
+	var hops []Hop
+	done := false
+	h1.Traceroute(h2.Addr(), 10, 500*time.Millisecond, func(h []Hop) { hops = h; done = true })
+	k.RunFor(time.Minute)
+	if !done {
+		t.Fatal("traceroute never finished")
+	}
+	if len(hops) < 3 {
+		t.Fatalf("hops = %+v", hops)
+	}
+	if hops[0].Addr.IsZero() {
+		t.Fatal("first hop should have answered")
+	}
+	// The tail must be two silent hops (the give-up rule).
+	if !hops[len(hops)-1].Addr.IsZero() || !hops[len(hops)-2].Addr.IsZero() {
+		t.Fatalf("expected two silent hops at the end: %+v", hops)
+	}
+}
+
+func TestSourceQuenchEmission(t *testing.T) {
+	// A gateway with a tiny output queue and source quench enabled must
+	// tell the flooding sender to slow down.
+	k := sim.NewKernel(1)
+	fast := phys.NewP2P(k, "fast", phys.Config{BitsPerSec: 10_000_000, Delay: time.Millisecond, MTU: 1500})
+	slow := phys.NewP2P(k, "slow", phys.Config{BitsPerSec: 64_000, Delay: time.Millisecond, MTU: 1500, QueueLimit: 4})
+	h1 := NewNode(k, "h1")
+	gw := NewNode(k, "gw")
+	gw.Forwarding = true
+	h2 := NewNode(k, "h2")
+	n1 := ipv4.MustParsePrefix("10.0.1.0/24")
+	n2 := ipv4.MustParsePrefix("10.0.2.0/24")
+	i1 := h1.AttachInterface(fast, n1.Host(1), n1)
+	g1 := gw.AttachInterface(fast, n1.Host(2), n1)
+	g2 := gw.AttachInterface(slow, n2.Host(2), n2)
+	i2 := h2.AttachInterface(slow, n2.Host(1), n2)
+	i1.AddNeighbor(g1.Addr, g1.NIC.Addr())
+	g1.AddNeighbor(i1.Addr, i1.NIC.Addr())
+	g2.AddNeighbor(i2.Addr, i2.NIC.Addr())
+	i2.AddNeighbor(g2.Addr, g2.NIC.Addr())
+	def := ipv4.MustParsePrefix("0.0.0.0/0")
+	h1.Table.Add(Route{Prefix: def, Via: g1.Addr, Source: SourceStatic})
+	h2.Table.Add(Route{Prefix: def, Via: g2.Addr, Source: SourceStatic})
+
+	gw.EnableSourceQuench()
+	quenches := 0
+	h1.OnIcmpError(func(e IcmpError) {
+		if e.Type == icmp.TypeSourceQuench {
+			quenches++
+			if e.From != g1.Addr && e.From != g2.Addr {
+				t.Errorf("quench from %v, not the gateway", e.From)
+			}
+		}
+	})
+	h2.RegisterProtocol(99, func(ipv4.Header, []byte) {})
+	for i := 0; i < 50; i++ {
+		h1.Send(ipv4.Header{Dst: h2.Addr(), Proto: 99}, make([]byte, 1000))
+	}
+	k.RunFor(5 * time.Second)
+	if quenches == 0 {
+		t.Fatal("no source quench for a flooded queue")
+	}
+}
+
+func TestNoErrorAboutICMPErrors(t *testing.T) {
+	// A time-exceeded about a time-exceeded must never be generated.
+	k := sim.NewKernel(1)
+	n := NewNode(k, "x")
+	link := phys.NewP2P(k, "l", phys.Config{MTU: 1500})
+	p := ipv4.MustParsePrefix("10.0.0.0/24")
+	n.AttachInterface(link, p.Host(1), p)
+	before := n.Stats().OutRequests
+	// An ICMP error payload (type dest-unreachable).
+	errPayload := (&icmp.Message{Type: icmp.TypeDestUnreachable}).Marshal()
+	n.sendICMPError(ipv4.Header{Src: p.Host(2), Dst: p.Host(1), Proto: ipv4.ProtoICMP}, errPayload, icmp.TypeTimeExceeded, 0)
+	if n.Stats().OutRequests != before {
+		t.Fatal("generated an error about an ICMP error")
+	}
+	// But an error about an echo request is allowed.
+	echo := (&icmp.Message{Type: icmp.TypeEchoRequest}).Marshal()
+	n.sendICMPError(ipv4.Header{Src: p.Host(2), Dst: p.Host(1), Proto: ipv4.ProtoICMP}, echo, icmp.TypeTimeExceeded, 0)
+	if n.Stats().OutRequests != before+1 {
+		t.Fatal("refused an error about informational ICMP")
+	}
+}

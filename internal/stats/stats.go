@@ -1,0 +1,216 @@
+// Package stats provides the small measurement toolkit the experiment
+// harness uses: sample collections with percentiles, rate meters, and
+// formatting helpers for the report tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"darpanet/internal/sim"
+)
+
+// Sample accumulates float64 observations and answers distribution
+// queries. The zero value is ready to use.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddDuration records a duration in milliseconds.
+func (s *Sample) AddDuration(d sim.Duration) {
+	s.Add(float64(d) / 1e6)
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Stddev returns the population standard deviation.
+func (s *Sample) Stddev() float64 {
+	if len(s.xs) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += (x - m) * (x - m)
+	}
+	return math.Sqrt(sum / float64(len(s.xs)))
+}
+
+func (s *Sample) sortIfNeeded() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p'th percentile (p in [0,100]) by
+// nearest-rank.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sortIfNeeded()
+	rank := int(math.Ceil(p/100*float64(len(s.xs)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s.xs) {
+		rank = len(s.xs) - 1
+	}
+	return s.xs[rank]
+}
+
+// Min returns the smallest observation.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sortIfNeeded()
+	return s.xs[0]
+}
+
+// Max returns the largest observation.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sortIfNeeded()
+	return s.xs[len(s.xs)-1]
+}
+
+// Summary formats n/mean/p50/p99/max on one line.
+func (s *Sample) Summary(unit string) string {
+	return fmt.Sprintf("n=%d mean=%.2f%s p50=%.2f%s p99=%.2f%s max=%.2f%s",
+		s.N(), s.Mean(), unit, s.Percentile(50), unit, s.Percentile(99), unit, s.Max(), unit)
+}
+
+// Throughput expresses bytes over a simulated interval as bits/second.
+func Throughput(bytes uint64, d sim.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / (float64(d) / 1e9)
+}
+
+// HumanRate renders a bits/second figure with engineering units.
+func HumanRate(bps float64) string {
+	switch {
+	case bps >= 1e9:
+		return fmt.Sprintf("%.2f Gb/s", bps/1e9)
+	case bps >= 1e6:
+		return fmt.Sprintf("%.2f Mb/s", bps/1e6)
+	case bps >= 1e3:
+		return fmt.Sprintf("%.2f kb/s", bps/1e3)
+	default:
+		return fmt.Sprintf("%.0f b/s", bps)
+	}
+}
+
+// HumanBytes renders a byte count with engineering units.
+func HumanBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// Pct renders a ratio as a percentage.
+func Pct(num, den uint64) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+}
+
+// Table renders rows of columns with aligned widths, for the experiment
+// reports.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends one row built from Sprintf arguments alternating as
+// individual cells.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with column alignment.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		out := ""
+		for i, c := range cells {
+			if i > 0 {
+				out += "  "
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			out += c
+			for j := 0; j < pad; j++ {
+				out += " "
+			}
+		}
+		return out + "\n"
+	}
+	out := line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		for j := 0; j < widths[i]; j++ {
+			sep[i] += "-"
+		}
+	}
+	out += line(sep)
+	for _, row := range t.Rows {
+		out += line(row)
+	}
+	return out
+}

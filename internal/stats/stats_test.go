@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Percentile(50) != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample should answer zeros")
+	}
+	for _, x := range []float64{4, 2, 8, 6} {
+		s.Add(x)
+	}
+	if s.N() != 4 || s.Mean() != 5 {
+		t.Fatalf("n=%d mean=%v", s.N(), s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 8 {
+		t.Fatalf("min=%v max=%v", s.Min(), s.Max())
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if p := s.Percentile(50); p != 50 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := s.Percentile(99); p != 99 {
+		t.Fatalf("p99 = %v", p)
+	}
+	if p := s.Percentile(100); p != 100 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := s.Percentile(0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if d := s.Stddev(); math.Abs(d-2) > 1e-9 {
+		t.Fatalf("stddev = %v, want 2", d)
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Sample
+	s.AddDuration(1500 * time.Microsecond)
+	if s.Mean() != 1.5 {
+		t.Fatalf("ms conversion wrong: %v", s.Mean())
+	}
+}
+
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(xs []float64, a, b uint8) bool {
+		var s Sample
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				s.Add(x)
+			}
+		}
+		lo, hi := float64(a%101), float64(b%101)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return s.Percentile(lo) <= s.Percentile(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	// 1000 bytes in 1 second = 8000 b/s.
+	if r := Throughput(1000, time.Second); r != 8000 {
+		t.Fatalf("rate = %v", r)
+	}
+	if Throughput(1000, 0) != 0 {
+		t.Fatal("zero interval should be 0")
+	}
+}
+
+func TestHumanUnits(t *testing.T) {
+	if HumanRate(2_500_000) != "2.50 Mb/s" {
+		t.Fatalf("rate: %q", HumanRate(2_500_000))
+	}
+	if HumanRate(1_000_000_000) != "1.00 Gb/s" {
+		t.Fatal("Gb/s")
+	}
+	if HumanRate(500) != "500 b/s" {
+		t.Fatal("b/s")
+	}
+	if HumanBytes(3*1024) != "3.00 KiB" {
+		t.Fatalf("bytes: %q", HumanBytes(3*1024))
+	}
+	if HumanBytes(10) != "10 B" {
+		t.Fatal("B")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(1, 4) != "25.0%" {
+		t.Fatalf("Pct = %q", Pct(1, 4))
+	}
+	if Pct(1, 0) != "n/a" {
+		t.Fatal("div by zero")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Header: []string{"name", "value"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 22)
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "22") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4", len(lines))
+	}
+	// All rows align: same prefix width for the second column.
+	if strings.Index(lines[0], "value") != strings.Index(lines[2], "1") {
+		t.Fatal("columns misaligned")
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	out := s.Summary("ms")
+	if !strings.Contains(out, "n=1") || !strings.Contains(out, "mean=1.00ms") {
+		t.Fatalf("summary: %q", out)
+	}
+}

@@ -1,0 +1,841 @@
+package tcp
+
+import (
+	"darpanet/internal/ipv4"
+	"darpanet/internal/sim"
+)
+
+// Conn is one TCP connection endpoint (a TCB in RFC 793 terms). All the
+// state that makes the conversation reliable lives here, in the host —
+// the fate-sharing model: lose this host and the connection is gone, lose
+// anything else and it survives.
+//
+// The API is event-driven to match the simulation kernel: register
+// OnEstablished / OnData / OnEOF / OnClose callbacks, feed bytes with
+// Write, and drive the kernel.
+type Conn struct {
+	t      *Transport
+	k      *sim.Kernel
+	opts   Options
+	local  Endpoint
+	remote Endpoint
+	state  State
+
+	acceptFn func(*Conn) // listener callback, fired on ESTABLISHED
+
+	// Send sequence space (RFC 793 3.3).
+	iss     uint32
+	sndUna  uint32
+	sndNxt  uint32
+	sndWnd  int
+	sndWl1  uint32 // seq of last window update
+	sndWl2  uint32 // ack of last window update
+	sndBuf  []byte // unacked + unsent bytes, starting at sndUna
+	peerMSS int
+
+	finQueued bool // application closed the send side
+	finSent   bool // FIN has occupied sequence space
+
+	// Original transmission boundaries, for the no-repacketization
+	// ablation.
+	sentSegs []sentSeg
+
+	// Receive sequence space.
+	irs      uint32
+	rcvNxt   uint32
+	rcvAdv   uint32 // highest right window edge advertised (SWS avoidance)
+	recvQ    []byte // received, in order, not yet consumed by the app
+	autoRead bool
+	ooo      []oooSeg
+
+	// Retransmission.
+	rto         sim.Duration
+	srtt        sim.Duration
+	rttvar      sim.Duration
+	backoff     int
+	rexmitTimer *sim.Timer
+	rttPending  bool
+	rttSeq      uint32
+	rttStart    sim.Time
+	retransHit  bool // a retransmission happened since last sample (Karn)
+
+	// Congestion control.
+	cwnd           int
+	ssthresh       int
+	dupAcks        int
+	inFastRecovery bool
+
+	// Delayed ACK.
+	delackTimer *sim.Timer
+	ackPending  int // in-order segments since last ACK
+
+	// Zero-window persistence.
+	persistTimer *sim.Timer
+	persistIval  sim.Duration
+
+	// TIME-WAIT / connection teardown.
+	timeWaitTimer *sim.Timer
+	closeErr      error
+	closeFired    bool
+
+	// Callbacks.
+	onEstablished func()
+	onData        func([]byte)
+	onEOF         func()
+	onClose       func(error)
+	onWriteSpace  func()
+
+	stats Stats
+}
+
+type sentSeg struct {
+	seq uint32
+	ln  int
+}
+
+type oooSeg struct {
+	seq  uint32
+	data []byte
+}
+
+func newConn(t *Transport, local, remote Endpoint, opts Options) *Conn {
+	c := &Conn{
+		t:        t,
+		k:        t.k,
+		opts:     opts,
+		local:    local,
+		remote:   remote,
+		state:    StateClosed,
+		peerMSS:  536,
+		autoRead: true,
+		rto:      sim.Duration(initialRTO),
+		ssthresh: 1 << 30,
+	}
+	if opts.FixedRTO > 0 {
+		c.rto = opts.FixedRTO
+	}
+	c.cwnd = c.opts.MSS * 2
+	return c
+}
+
+// --- public API ---------------------------------------------------------
+
+// OnEstablished registers fn to run when the handshake completes.
+func (c *Conn) OnEstablished(fn func()) { c.onEstablished = fn }
+
+// OnData registers fn to receive in-order stream data. With auto-read on
+// (the default) delivered bytes are consumed immediately and the window
+// stays open.
+func (c *Conn) OnData(fn func([]byte)) { c.onData = fn }
+
+// OnEOF registers fn to run when the peer closes its send side (FIN).
+func (c *Conn) OnEOF(fn func()) { c.onEOF = fn }
+
+// OnClose registers fn to run once when the connection is functionally
+// over: cleanly (nil) or due to reset/timeout (an error).
+func (c *Conn) OnClose(fn func(error)) { c.onClose = fn }
+
+// OnWriteSpace registers fn to run whenever send-buffer space frees up.
+func (c *Conn) OnWriteSpace(fn func()) { c.onWriteSpace = fn }
+
+// SetAutoRead toggles automatic consumption of received data. With it
+// off, data queues until Read is called and the advertised window closes
+// as the buffer fills — the knob the flow-control tests and the
+// zero-window experiments use.
+func (c *Conn) SetAutoRead(auto bool) {
+	c.autoRead = auto
+	if auto {
+		c.drainRecvQ()
+	}
+}
+
+// Read consumes up to n bytes of received data (manual read mode),
+// reopening the advertised window.
+func (c *Conn) Read(n int) []byte {
+	if n > len(c.recvQ) {
+		n = len(c.recvQ)
+	}
+	out := c.recvQ[:n]
+	c.recvQ = c.recvQ[n:]
+	// Window may have reopened; let the peer know if it was shut.
+	if n > 0 {
+		c.sendACK()
+	}
+	return out
+}
+
+// Buffered returns the number of received bytes awaiting Read.
+func (c *Conn) Buffered() int { return len(c.recvQ) }
+
+// State returns the connection state.
+func (c *Conn) State() State { return c.state }
+
+// LocalEndpoint returns the connection's local address/port.
+func (c *Conn) LocalEndpoint() Endpoint { return c.local }
+
+// RemoteEndpoint returns the connection's remote address/port.
+func (c *Conn) RemoteEndpoint() Endpoint { return c.remote }
+
+// Stats returns a copy of the connection counters.
+func (c *Conn) Stats() Stats {
+	s := c.stats
+	s.SRTT = c.srtt
+	s.RTO = c.rto
+	return s
+}
+
+// CongestionWindow returns the current congestion window in bytes.
+func (c *Conn) CongestionWindow() int { return c.cwnd }
+
+// Write appends data to the send buffer, returning how many bytes were
+// accepted (possibly fewer than offered when the buffer is full).
+func (c *Conn) Write(data []byte) (int, error) {
+	switch c.state {
+	case StateEstablished, StateCloseWait, StateSynSent, StateSynRcvd:
+	default:
+		return 0, ErrNotEstablished
+	}
+	if c.finQueued {
+		return 0, ErrClosed
+	}
+	space := c.opts.SendBufferSize - len(c.sndBuf)
+	if space <= 0 {
+		return 0, nil
+	}
+	if len(data) > space {
+		data = data[:space]
+	}
+	c.sndBuf = append(c.sndBuf, data...)
+	if c.state == StateEstablished || c.state == StateCloseWait {
+		c.output()
+	}
+	return len(data), nil
+}
+
+// WriteSpace returns the free send-buffer space in bytes.
+func (c *Conn) WriteSpace() int {
+	if c.finQueued {
+		return 0
+	}
+	return c.opts.SendBufferSize - len(c.sndBuf)
+}
+
+// Close closes the send side: remaining buffered data is delivered, then
+// a FIN. Receiving continues until the peer closes.
+func (c *Conn) Close() {
+	if c.finQueued {
+		return
+	}
+	switch c.state {
+	case StateClosed, StateListen:
+		c.teardown(ErrClosed)
+	case StateSynSent:
+		c.teardown(ErrClosed)
+	case StateSynRcvd, StateEstablished:
+		c.finQueued = true
+		c.setState(StateFinWait1)
+		c.output()
+	case StateCloseWait:
+		c.finQueued = true
+		c.setState(StateLastAck)
+		c.output()
+	}
+}
+
+// Abort resets the connection immediately (RST to the peer, error to the
+// local callbacks).
+func (c *Conn) Abort() {
+	switch c.state {
+	case StateSynRcvd, StateEstablished, StateFinWait1, StateFinWait2, StateCloseWait:
+		rst := segment{
+			srcPort: c.local.Port, dstPort: c.remote.Port,
+			seq: c.sndNxt, flags: flagRST,
+		}
+		c.transmit(&rst)
+	}
+	c.teardown(ErrClosed)
+}
+
+// --- open paths ----------------------------------------------------------
+
+func (c *Conn) startActiveOpen() {
+	c.iss = c.k.Rand().Uint32()
+	c.sndUna, c.sndNxt = c.iss, c.iss
+	c.setState(StateSynSent)
+	c.sendSYN(false)
+	c.armRexmit()
+}
+
+func (c *Conn) startPassiveOpen(syn *segment) {
+	c.irs = syn.seq
+	c.rcvNxt = syn.seq + 1
+	c.rcvAdv = c.rcvNxt + uint32(c.opts.WindowSize)
+	if syn.mss >= 64 {
+		c.peerMSS = int(syn.mss)
+	}
+	c.iss = c.k.Rand().Uint32()
+	c.sndUna, c.sndNxt = c.iss, c.iss
+	c.sndWnd = int(syn.wnd)
+	c.sndWl1, c.sndWl2 = syn.seq, 0
+	c.setState(StateSynRcvd)
+	c.sendSYN(true)
+	c.armRexmit()
+}
+
+func (c *Conn) sendSYN(withACK bool) {
+	s := segment{
+		srcPort: c.local.Port, dstPort: c.remote.Port,
+		seq: c.iss, flags: flagSYN,
+		mss: uint16(c.opts.MSS),
+		wnd: uint16(c.windowToAdvertise()),
+	}
+	if withACK {
+		s.flags |= flagACK
+		s.ack = c.rcvNxt
+	}
+	if c.sndNxt == c.iss {
+		c.sndNxt = c.iss + 1
+	}
+	c.transmit(&s)
+}
+
+// --- segment arrival (RFC 793 pp.65-76) ----------------------------------
+
+func (c *Conn) segmentArrives(seg *segment) {
+	c.stats.SegsReceived++
+	switch c.state {
+	case StateClosed:
+		return
+	case StateSynSent:
+		c.synSentInput(seg)
+		return
+	}
+
+	// 1. Sequence acceptability.
+	if !c.acceptable(seg) {
+		if !seg.rst() {
+			c.sendACK() // resynchronize the peer
+		}
+		return
+	}
+	c.trimToWindow(seg)
+
+	// 2. RST.
+	if seg.rst() {
+		switch c.state {
+		case StateSynRcvd:
+			if c.acceptFn != nil { // passive open: silently return to nothing
+				c.teardown(ErrRefused)
+			} else {
+				c.teardown(ErrReset)
+			}
+		default:
+			c.teardown(ErrReset)
+		}
+		return
+	}
+
+	// 3. SYN in the window: fatal.
+	if seg.syn() && seqGEQ(seg.seq, c.rcvNxt) {
+		c.t.sendRST(c.local, c.remote, seg)
+		c.teardown(ErrReset)
+		return
+	}
+
+	// 4. ACK processing.
+	if !seg.hasACK() {
+		return
+	}
+	switch c.state {
+	case StateSynRcvd:
+		if seqLEQ(c.sndUna, seg.ack) && seqLEQ(seg.ack, c.sndNxt) {
+			c.setState(StateEstablished)
+			c.sndWnd = int(seg.wnd)
+			c.sndWl1, c.sndWl2 = seg.seq, seg.ack
+			c.processAck(seg)
+			c.fireEstablished()
+		} else {
+			c.t.sendRST(c.local, c.remote, seg)
+			return
+		}
+	case StateEstablished, StateFinWait1, StateFinWait2, StateCloseWait, StateClosing, StateLastAck:
+		c.processAck(seg)
+	case StateTimeWait:
+		// Retransmitted FIN: re-ack and restart the 2MSL timer.
+		c.sendACK()
+		c.enterTimeWait()
+		return
+	}
+
+	// State-specific consequences of our FIN being acked.
+	finAcked := c.finSent && c.sndUna == c.sndNxt
+	switch c.state {
+	case StateFinWait1:
+		if finAcked {
+			c.setState(StateFinWait2)
+		}
+	case StateClosing:
+		if finAcked {
+			c.enterTimeWait()
+		}
+	case StateLastAck:
+		if finAcked {
+			c.teardown(nil)
+			return
+		}
+	}
+
+	// 5. Payload.
+	if len(seg.payload) > 0 {
+		switch c.state {
+		case StateEstablished, StateFinWait1, StateFinWait2:
+			c.receiveData(seg)
+		}
+	}
+
+	// 6. FIN.
+	if seg.fin() && seqLEQ(seg.seq+uint32(len(seg.payload)), c.rcvNxt) {
+		c.processFIN()
+	}
+
+	// Send anything the ACK freed up.
+	c.output()
+}
+
+// synSentInput handles arrivals in SYN-SENT (RFC 793 p.66).
+func (c *Conn) synSentInput(seg *segment) {
+	if seg.hasACK() {
+		if seqLEQ(seg.ack, c.iss) || seqGT(seg.ack, c.sndNxt) {
+			if !seg.rst() {
+				c.t.sendRST(c.local, c.remote, seg)
+			}
+			return
+		}
+	}
+	if seg.rst() {
+		if seg.hasACK() {
+			c.teardown(ErrRefused)
+		}
+		return
+	}
+	if !seg.syn() {
+		return
+	}
+	c.irs = seg.seq
+	c.rcvNxt = seg.seq + 1
+	c.rcvAdv = c.rcvNxt + uint32(c.opts.WindowSize)
+	if seg.mss >= 64 {
+		c.peerMSS = int(seg.mss)
+	}
+	if seg.hasACK() {
+		c.ackAdvance(seg.ack)
+		c.sndWnd = int(seg.wnd)
+		c.sndWl1, c.sndWl2 = seg.seq, seg.ack
+	}
+	if seqGT(c.sndUna, c.iss) { // our SYN is acked
+		c.setState(StateEstablished)
+		c.cancelRexmit()
+		c.sendACK()
+		c.fireEstablished()
+		c.output()
+	} else {
+		// Simultaneous open.
+		c.setState(StateSynRcvd)
+		c.sendSYN(true)
+	}
+}
+
+// acceptable implements the four-case window test of RFC 793 p.69.
+func (c *Conn) acceptable(seg *segment) bool {
+	segLen := seg.segLen()
+	wnd := uint32(c.windowToAdvertise())
+	switch {
+	case segLen == 0 && wnd == 0:
+		return seg.seq == c.rcvNxt
+	case segLen == 0:
+		return seqLEQ(c.rcvNxt, seg.seq) && seqLT(seg.seq, c.rcvNxt+wnd)
+	case wnd == 0:
+		return false
+	default:
+		endOK := seqLEQ(c.rcvNxt, seg.seq+uint32(segLen)-1) && seqLT(seg.seq+uint32(segLen)-1, c.rcvNxt+wnd)
+		startOK := seqLEQ(c.rcvNxt, seg.seq) && seqLT(seg.seq, c.rcvNxt+wnd)
+		return startOK || endOK
+	}
+}
+
+// trimToWindow drops payload bytes below rcvNxt (already received).
+func (c *Conn) trimToWindow(seg *segment) {
+	if seqLT(seg.seq, c.rcvNxt) && len(seg.payload) > 0 {
+		skip := c.rcvNxt - seg.seq
+		if seg.syn() {
+			skip-- // SYN occupied the first sequence slot
+			seg.flags &^= flagSYN
+		}
+		if int(skip) >= len(seg.payload) {
+			seg.payload = nil
+		} else {
+			seg.payload = seg.payload[skip:]
+		}
+		seg.seq = c.rcvNxt
+	}
+}
+
+// --- ACK side -------------------------------------------------------------
+
+// processAck handles acknowledgements, window updates, RTT sampling,
+// congestion control and dupack counting.
+func (c *Conn) processAck(seg *segment) {
+	ack := seg.ack
+	if seqGT(ack, c.sndNxt) {
+		// Acks something not yet sent: ignore but re-ack.
+		c.sendACK()
+		return
+	}
+	if seqGT(ack, c.sndUna) {
+		acked := int(ack - c.sndUna)
+		c.ackAdvance(ack)
+		c.rttSample(ack)
+		c.backoff = 0
+		c.dupAcks = 0
+		c.congestionOnAck(acked)
+		if c.sndUna == c.sndNxt {
+			c.cancelRexmit()
+		} else {
+			c.armRexmit() // restart for remaining flight
+		}
+		if c.onWriteSpace != nil && c.WriteSpace() > 0 {
+			fn := c.onWriteSpace
+			c.k.Defer(func() { fn() })
+		}
+	} else if ack == c.sndUna && len(seg.payload) == 0 && !seg.syn() && !seg.fin() &&
+		int(seg.wnd) == c.sndWnd && c.sndNxt != c.sndUna {
+		// Pure duplicate ACK.
+		c.stats.DupAcksReceived++
+		c.dupAcks++
+		if !c.opts.NoCongestionControl {
+			c.fastRetransmitCheck()
+		}
+	}
+	// Window update (RFC 793 p.72).
+	if seqLT(c.sndWl1, seg.seq) || (c.sndWl1 == seg.seq && seqLEQ(c.sndWl2, ack)) {
+		wasZero := c.sndWnd == 0
+		c.sndWnd = int(seg.wnd)
+		c.sndWl1, c.sndWl2 = seg.seq, ack
+		if wasZero && c.sndWnd > 0 {
+			c.cancelPersist()
+		}
+		if c.sndWnd == 0 && c.bytesUnsent() > 0 {
+			c.armPersist()
+		}
+	}
+}
+
+// ackAdvance moves sndUna forward, trimming the send buffer and the
+// recorded segment boundaries.
+func (c *Conn) ackAdvance(ack uint32) {
+	if seqLEQ(ack, c.sndUna) {
+		return
+	}
+	dataAcked := int(ack - c.sndUna)
+	// SYN and FIN occupy sequence space but not buffer space.
+	if c.state == StateSynSent || c.state == StateSynRcvd || (c.sndUna == c.iss && dataAcked > 0) {
+		dataAcked-- // the SYN
+	}
+	if c.finSent && ack == c.sndNxt {
+		dataAcked-- // the FIN
+	}
+	if dataAcked > len(c.sndBuf) {
+		dataAcked = len(c.sndBuf)
+	}
+	if dataAcked > 0 {
+		c.sndBuf = c.sndBuf[dataAcked:]
+	}
+	c.sndUna = ack
+	// Prune fully acked original-boundary records.
+	i := 0
+	for ; i < len(c.sentSegs); i++ {
+		if seqGT(c.sentSegs[i].seq+uint32(c.sentSegs[i].ln), ack) {
+			break
+		}
+	}
+	c.sentSegs = c.sentSegs[i:]
+}
+
+// rttSample takes a Karn-compliant RTT measurement.
+func (c *Conn) rttSample(ack uint32) {
+	if !c.rttPending || seqLT(ack, c.rttSeq) || c.retransHit {
+		if c.retransHit && c.rttPending && seqGEQ(ack, c.rttSeq) {
+			c.rttPending = false
+			c.retransHit = false
+		}
+		return
+	}
+	rtt := c.k.Now().Sub(c.rttStart)
+	c.rttPending = false
+	if c.opts.FixedRTO > 0 {
+		return // naive host: no adaptation
+	}
+	if c.srtt == 0 {
+		c.srtt = rtt
+		c.rttvar = rtt / 2
+	} else {
+		d := rtt - c.srtt
+		if d < 0 {
+			d = -d
+		}
+		c.rttvar += (d - c.rttvar) / 4
+		c.srtt += (rtt - c.srtt) / 8
+	}
+	c.rto = c.srtt + 4*c.rttvar
+	c.clampRTO()
+}
+
+func (c *Conn) clampRTO() {
+	if c.rto < sim.Duration(minRTO) {
+		c.rto = sim.Duration(minRTO)
+	}
+	if c.rto > sim.Duration(maxRTO) {
+		c.rto = sim.Duration(maxRTO)
+	}
+}
+
+// --- congestion control ----------------------------------------------------
+
+func (c *Conn) congestionOnAck(acked int) {
+	if c.opts.NoCongestionControl {
+		return
+	}
+	if c.inFastRecovery {
+		// New data acked: leave fast recovery.
+		c.cwnd = c.ssthresh
+		c.inFastRecovery = false
+		return
+	}
+	if c.cwnd < c.ssthresh {
+		c.cwnd += min(acked, c.opts.MSS) // slow start
+	} else {
+		c.cwnd += max(1, c.opts.MSS*c.opts.MSS/c.cwnd) // congestion avoidance
+	}
+	if c.cwnd > 1<<24 {
+		c.cwnd = 1 << 24
+	}
+}
+
+func (c *Conn) fastRetransmitCheck() {
+	switch {
+	case c.dupAcks == 3:
+		flight := int(c.sndNxt - c.sndUna)
+		c.ssthresh = max(flight/2, 2*c.opts.MSS)
+		c.retransmitOldest(true)
+		c.cwnd = c.ssthresh + 3*c.opts.MSS
+		c.inFastRecovery = true
+		c.stats.FastRetransmits++
+	case c.dupAcks > 3 && c.inFastRecovery:
+		c.cwnd += c.opts.MSS
+		c.output()
+	}
+}
+
+// --- receive side -----------------------------------------------------------
+
+func (c *Conn) receiveData(seg *segment) {
+	if seg.seq == c.rcvNxt {
+		c.admitInOrder(seg.payload)
+		// Pull any contiguous out-of-order segments through.
+		c.drainOOO()
+		c.ackPending++
+		if !c.opts.NoDelayedAck && c.ackPending < 2 && len(c.ooo) == 0 && !c.finQueued {
+			c.armDelack()
+		} else {
+			c.sendACK()
+		}
+	} else if seqGT(seg.seq, c.rcvNxt) {
+		c.insertOOO(seg.seq, seg.payload)
+		c.sendACK() // duplicate ACK signals the hole
+	}
+}
+
+func (c *Conn) admitInOrder(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	// Respect the advertised window strictly: never buffer beyond it.
+	free := c.opts.WindowSize - len(c.recvQ)
+	if len(data) > free {
+		data = data[:free]
+	}
+	if len(data) == 0 {
+		return
+	}
+	c.rcvNxt += uint32(len(data))
+	c.stats.BytesReceived += uint64(len(data))
+	c.recvQ = append(c.recvQ, data...)
+	if c.autoRead {
+		c.drainRecvQ()
+	}
+}
+
+func (c *Conn) drainRecvQ() {
+	if len(c.recvQ) == 0 {
+		return
+	}
+	data := c.recvQ
+	c.recvQ = nil
+	if c.onData != nil {
+		c.onData(data)
+	}
+}
+
+func (c *Conn) insertOOO(seq uint32, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	// Bound out-of-order hoarding to one window.
+	if seqGT(seq+uint32(len(data)), c.rcvNxt+uint32(c.opts.WindowSize)) {
+		return
+	}
+	// Insert sorted; tolerate overlap by keeping both and trimming at
+	// drain time.
+	at := len(c.ooo)
+	for i, s := range c.ooo {
+		if seqLT(seq, s.seq) {
+			at = i
+			break
+		}
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.ooo = append(c.ooo, oooSeg{})
+	copy(c.ooo[at+1:], c.ooo[at:])
+	c.ooo[at] = oooSeg{seq: seq, data: cp}
+}
+
+func (c *Conn) drainOOO() {
+	for len(c.ooo) > 0 {
+		s := c.ooo[0]
+		if seqGT(s.seq, c.rcvNxt) {
+			return // hole remains
+		}
+		c.ooo = c.ooo[1:]
+		if end := s.seq + uint32(len(s.data)); seqLEQ(end, c.rcvNxt) {
+			continue // entirely old
+		}
+		skip := int(c.rcvNxt - s.seq)
+		c.admitInOrder(s.data[skip:])
+	}
+}
+
+func (c *Conn) processFIN() {
+	switch c.state {
+	case StateEstablished, StateSynRcvd:
+		c.rcvNxt++
+		c.sendACK()
+		c.setState(StateCloseWait)
+		if c.onEOF != nil {
+			c.onEOF()
+		}
+	case StateFinWait1:
+		c.rcvNxt++
+		c.sendACK()
+		if c.finSent && c.sndUna == c.sndNxt {
+			c.enterTimeWait()
+		} else {
+			c.setState(StateClosing)
+		}
+		if c.onEOF != nil {
+			c.onEOF()
+		}
+	case StateFinWait2:
+		c.rcvNxt++
+		c.sendACK()
+		c.enterTimeWait()
+		if c.onEOF != nil {
+			c.onEOF()
+		}
+	}
+}
+
+// --- teardown ----------------------------------------------------------------
+
+func (c *Conn) enterTimeWait() {
+	c.setState(StateTimeWait)
+	c.cancelRexmit()
+	c.cancelPersist()
+	c.cancelDelack()
+	if c.timeWaitTimer != nil {
+		c.timeWaitTimer.Stop()
+	}
+	c.fireClose(nil)
+	c.timeWaitTimer = c.k.After(c.opts.TimeWaitDuration, func() {
+		c.setState(StateClosed)
+		c.t.remove(c)
+	})
+}
+
+// teardown closes immediately with the given reason (nil for clean).
+func (c *Conn) teardown(err error) {
+	if c.state == StateClosed {
+		return
+	}
+	c.setState(StateClosed)
+	c.cancelRexmit()
+	c.cancelPersist()
+	c.cancelDelack()
+	if c.timeWaitTimer != nil {
+		c.timeWaitTimer.Stop()
+	}
+	c.t.remove(c)
+	c.fireClose(err)
+}
+
+func (c *Conn) fireClose(err error) {
+	if c.closeFired {
+		return
+	}
+	c.closeFired = true
+	c.closeErr = err
+	if c.onClose != nil {
+		c.onClose(err)
+	}
+}
+
+func (c *Conn) fireEstablished() {
+	if c.acceptFn != nil {
+		fn := c.acceptFn
+		c.acceptFn = nil
+		fn(c)
+	}
+	if c.onEstablished != nil {
+		c.onEstablished()
+	}
+}
+
+func (c *Conn) setState(s State) { c.state = s }
+
+// icmpError lets the network's error channel influence the connection:
+// hard unreachables abort a connection attempt early, and (optionally) a
+// source quench triggers the pre-VJ congestion response.
+func (c *Conn) icmpError(e stackIcmpError) {
+	if e.Original.Proto != ipv4.ProtoTCP || e.Original.Dst != c.remote.Addr {
+		return
+	}
+	if len(e.OrigPayload) >= 4 {
+		srcPort := uint16(e.OrigPayload[0])<<8 | uint16(e.OrigPayload[1])
+		if srcPort != c.local.Port {
+			return
+		}
+	}
+	if e.Type == icmpTypeSourceQuench {
+		if c.opts.ReactToSourceQuench && c.state == StateEstablished {
+			flight := int(c.sndNxt - c.sndUna)
+			c.ssthresh = max(flight/2, 2*c.opts.MSS)
+			c.cwnd = c.mss()
+			c.inFastRecovery = false
+			c.stats.SourceQuenches++
+		}
+		return
+	}
+	if c.state == StateSynSent {
+		c.teardown(ErrUnreachable)
+	}
+}

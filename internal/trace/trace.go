@@ -1,0 +1,175 @@
+// Package trace renders captured datagrams as human-readable, tcpdump-ish
+// one-liners. It is pure formatting: the stack's packet tap hands it raw
+// IP datagrams and it decodes IP + TCP/UDP/ICMP far enough to print the
+// line a network operator would expect.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"darpanet/internal/ipv4"
+	"darpanet/internal/sim"
+)
+
+// Direction of a captured datagram relative to the capturing node.
+type Direction int
+
+// Capture directions.
+const (
+	Recv Direction = iota // arrived at the node (delivered or forwarded)
+	Send                  // originated or forwarded out
+)
+
+func (d Direction) String() string {
+	if d == Send {
+		return ">"
+	}
+	return "<"
+}
+
+// Event is one captured datagram with its context.
+type Event struct {
+	At    sim.Time
+	Node  string
+	Dir   Direction
+	Iface string
+	Raw   []byte
+}
+
+// Format renders the event on one line.
+func Format(e Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%11s %s %s %s ", e.At, e.Node, e.Dir, e.Iface)
+	h, payload, err := ipv4.Parse(e.Raw)
+	if err != nil {
+		fmt.Fprintf(&b, "malformed (%v, %d bytes)", err, len(e.Raw))
+		return b.String()
+	}
+	if h.MF || h.FragOff > 0 {
+		fmt.Fprintf(&b, "%s > %s: frag id=%d off=%d len=%d mf=%v",
+			h.Src, h.Dst, h.ID, h.FragOff, len(payload), h.MF)
+		return b.String()
+	}
+	switch h.Proto {
+	case ipv4.ProtoTCP:
+		formatTCP(&b, h, payload)
+	case ipv4.ProtoUDP:
+		formatUDP(&b, h, payload)
+	case ipv4.ProtoICMP:
+		formatICMP(&b, h, payload)
+	case ipv4.ProtoNVP:
+		fmt.Fprintf(&b, "%s > %s: NVP %d bytes", h.Src, h.Dst, len(payload))
+	case ipv4.ProtoXNET:
+		fmt.Fprintf(&b, "%s > %s: XNET %d bytes", h.Src, h.Dst, len(payload))
+	default:
+		fmt.Fprintf(&b, "%s > %s: proto %d, %d bytes", h.Src, h.Dst, h.Proto, len(payload))
+	}
+	if h.TOS != 0 {
+		fmt.Fprintf(&b, " [tos %#02x]", h.TOS)
+	}
+	if h.TTL <= 3 {
+		fmt.Fprintf(&b, " [ttl %d]", h.TTL)
+	}
+	return b.String()
+}
+
+func formatTCP(b *strings.Builder, h ipv4.Header, p []byte) {
+	if len(p) < 20 {
+		fmt.Fprintf(b, "%s > %s: TCP truncated", h.Src, h.Dst)
+		return
+	}
+	sport := binary.BigEndian.Uint16(p[0:])
+	dport := binary.BigEndian.Uint16(p[2:])
+	seq := binary.BigEndian.Uint32(p[4:])
+	ack := binary.BigEndian.Uint32(p[8:])
+	off := int(p[12]>>4) * 4
+	flags := p[13]
+	wnd := binary.BigEndian.Uint16(p[14:])
+	names := []struct {
+		bit  byte
+		name string
+	}{{0x02, "S"}, {0x10, "."}, {0x01, "F"}, {0x04, "R"}, {0x08, "P"}, {0x20, "U"}}
+	fl := ""
+	for _, n := range names {
+		if flags&n.bit != 0 {
+			fl += n.name
+		}
+	}
+	dataLen := 0
+	if off <= len(p) {
+		dataLen = len(p) - off
+	}
+	fmt.Fprintf(b, "%s.%d > %s.%d: Flags [%s], seq %d, ack %d, win %d, length %d",
+		h.Src, sport, h.Dst, dport, fl, seq, ack, wnd, dataLen)
+}
+
+func formatUDP(b *strings.Builder, h ipv4.Header, p []byte) {
+	if len(p) < 8 {
+		fmt.Fprintf(b, "%s > %s: UDP truncated", h.Src, h.Dst)
+		return
+	}
+	sport := binary.BigEndian.Uint16(p[0:])
+	dport := binary.BigEndian.Uint16(p[2:])
+	fmt.Fprintf(b, "%s.%d > %s.%d: UDP, length %d", h.Src, sport, h.Dst, dport, len(p)-8)
+}
+
+func formatICMP(b *strings.Builder, h ipv4.Header, p []byte) {
+	if len(p) < 8 {
+		fmt.Fprintf(b, "%s > %s: ICMP truncated", h.Src, h.Dst)
+		return
+	}
+	kind := "type " + fmt.Sprint(p[0])
+	switch p[0] {
+	case 0:
+		kind = fmt.Sprintf("echo reply, id %d, seq %d", binary.BigEndian.Uint16(p[4:]), binary.BigEndian.Uint16(p[6:]))
+	case 8:
+		kind = fmt.Sprintf("echo request, id %d, seq %d", binary.BigEndian.Uint16(p[4:]), binary.BigEndian.Uint16(p[6:]))
+	case 3:
+		kind = "destination unreachable"
+		switch p[1] {
+		case 0:
+			kind += " (net)"
+		case 1:
+			kind += " (host)"
+		case 2:
+			kind += " (protocol)"
+		case 3:
+			kind += " (port)"
+		case 4:
+			kind += " (fragmentation needed)"
+		}
+	case 4:
+		kind = "source quench"
+
+	case 11:
+		kind = "time exceeded in-transit"
+	}
+	fmt.Fprintf(b, "%s > %s: ICMP %s, length %d", h.Src, h.Dst, kind, len(p))
+}
+
+// Buffer collects events for later rendering; handy in tests and the
+// netlab CLI.
+type Buffer struct {
+	Events []Event
+	Limit  int // 0 = unlimited
+}
+
+// Add appends an event (dropping the oldest beyond Limit).
+func (tb *Buffer) Add(e Event) {
+	tb.Events = append(tb.Events, e)
+	if tb.Limit > 0 && len(tb.Events) > tb.Limit {
+		tb.Events = tb.Events[len(tb.Events)-tb.Limit:]
+	}
+}
+
+// String renders all buffered events, one per line.
+func (tb *Buffer) String() string {
+	var b strings.Builder
+	for _, e := range tb.Events {
+		b.WriteString(Format(e))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

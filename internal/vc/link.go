@@ -1,0 +1,182 @@
+// Package vc implements the architecture the 1988 paper argues against: a
+// virtual-circuit network in the X.25 mold, with per-connection state in
+// every switch and hop-by-hop reliability on every link.
+//
+// It exists so the paper's central survivability claim can be measured
+// rather than asserted. In this architecture the network itself promises
+// in-order reliable delivery — which it can only do by remembering each
+// conversation in each switch on the path. When a switch fails, that
+// memory is gone and every circuit through it dies with a reset; the
+// endpoints must re-dial and recover lost data themselves anyway. The
+// datagram architecture (the rest of this repository) makes the opposite
+// bet — fate-sharing — and experiment E1 compares the two under gateway
+// failure.
+package vc
+
+import (
+	"darpanet/internal/phys"
+	"darpanet/internal/sim"
+)
+
+// Link-layer ARQ framing: ctl(1) seq(1) ack(1) + payload.
+const (
+	ctlInfo = 1 // numbered information frame
+	ctlRR   = 2 // receive-ready (pure ack)
+)
+
+const (
+	arqWindow     = 8
+	arqRexmitTime = 300 * 1e6 // 300 ms
+	arqMaxRetries = 6
+	arqQueueLimit = 256
+)
+
+// linkOwner is a switch or host that owns one end of a reliable link.
+type linkOwner interface {
+	// linkDeliver receives one in-order payload from the link.
+	linkDeliver(l *linkEnd, payload []byte)
+	// linkDead is called when the ARQ gives up: the link (or its far
+	// end) is considered failed.
+	linkDead(l *linkEnd)
+}
+
+// linkEnd is one end of a reliable (go-back-N) link: the hop-by-hop
+// reliability X.25-era networks demanded of every segment of the path.
+type linkEnd struct {
+	k     *sim.Kernel
+	nic   *phys.NIC
+	owner linkOwner
+	index int // owner's link index
+
+	// Sender side.
+	sndSeq  uint8    // next sequence number to assign
+	sndUna  uint8    // oldest unacknowledged
+	pending [][]byte // unacked frames, pending[0] has seq sndUna
+	queue   [][]byte // not yet transmitted (window full)
+	timer   *sim.Timer
+	retries int
+	dead    bool
+
+	// Receiver side.
+	rcvSeq uint8 // next expected
+
+	// Stats.
+	framesSent, framesResent, framesDelivered uint64
+}
+
+func newLinkEnd(k *sim.Kernel, nic *phys.NIC, owner linkOwner, index int) *linkEnd {
+	l := &linkEnd{k: k, nic: nic, owner: owner, index: index}
+	nic.SetReceiver(l.input)
+	return l
+}
+
+// send queues one payload for reliable in-order delivery to the far end.
+func (l *linkEnd) send(payload []byte) {
+	if l.dead {
+		return
+	}
+	if len(l.pending) >= arqWindow {
+		if len(l.queue) < arqQueueLimit {
+			l.queue = append(l.queue, payload)
+		}
+		return
+	}
+	l.transmitNew(payload)
+}
+
+func (l *linkEnd) transmitNew(payload []byte) {
+	frame := make([]byte, 3+len(payload))
+	frame[0] = ctlInfo
+	frame[1] = l.sndSeq
+	frame[2] = l.rcvSeq // piggybacked ack
+	copy(frame[3:], payload)
+	l.sndSeq++
+	l.pending = append(l.pending, frame)
+	l.framesSent++
+	l.nic.Send(phys.Broadcast, frame)
+	l.armTimer()
+}
+
+func (l *linkEnd) armTimer() {
+	if l.timer != nil && l.timer.Pending() {
+		return
+	}
+	l.timer = l.k.After(sim.Duration(arqRexmitTime), l.timeout)
+}
+
+func (l *linkEnd) timeout() {
+	if len(l.pending) == 0 || l.dead {
+		return
+	}
+	l.retries++
+	if l.retries > arqMaxRetries {
+		l.dead = true
+		l.owner.linkDead(l)
+		return
+	}
+	// Go-back-N: resend everything outstanding.
+	for _, f := range l.pending {
+		f[2] = l.rcvSeq
+		l.framesResent++
+		l.nic.Send(phys.Broadcast, f)
+	}
+	l.timer = l.k.After(sim.Duration(arqRexmitTime), l.timeout)
+}
+
+// revive clears the dead flag after a restore (state is otherwise reset
+// by the owner).
+func (l *linkEnd) revive() {
+	l.dead = false
+	l.retries = 0
+	l.pending = nil
+	l.queue = nil
+	l.sndSeq, l.sndUna, l.rcvSeq = 0, 0, 0
+}
+
+func (l *linkEnd) input(f phys.Frame) {
+	if l.dead || len(f.Payload) < 3 {
+		return
+	}
+	ctl, seq, ack := f.Payload[0], f.Payload[1], f.Payload[2]
+	l.processAck(ack)
+	if ctl != ctlInfo {
+		return
+	}
+	if seq == l.rcvSeq {
+		l.rcvSeq++
+		l.framesDelivered++
+		l.sendRR()
+		l.owner.linkDeliver(l, f.Payload[3:])
+	} else {
+		// Out of order under go-back-N: discard and re-ack.
+		l.sendRR()
+	}
+}
+
+func (l *linkEnd) processAck(ack uint8) {
+	// Slide the window: ack names the next frame the peer expects.
+	for len(l.pending) > 0 && seq8LT(l.sndUna, ack) {
+		l.pending = l.pending[1:]
+		l.sndUna++
+		l.retries = 0
+	}
+	if len(l.pending) == 0 && l.timer != nil {
+		l.timer.Stop()
+	} else if len(l.pending) > 0 {
+		l.armTimer()
+	}
+	// Window slid open: transmit queued frames.
+	for len(l.queue) > 0 && len(l.pending) < arqWindow {
+		next := l.queue[0]
+		l.queue = l.queue[1:]
+		l.transmitNew(next)
+	}
+}
+
+func (l *linkEnd) sendRR() {
+	rr := []byte{ctlRR, 0, l.rcvSeq}
+	l.nic.Send(phys.Broadcast, rr)
+}
+
+// seq8LT compares 8-bit sequence numbers modulo 256.
+func seq8LT(a, b uint8) bool { return int8(a-b) < 0 }

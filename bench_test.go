@@ -1,9 +1,12 @@
 package darpanet_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"darpanet/internal/exp"
+	"darpanet/internal/harness"
 )
 
 // Each benchmark regenerates one experiment table from EXPERIMENTS.md.
@@ -37,6 +40,29 @@ func BenchmarkE8FirstByte(b *testing.B)      { benchExperiment(b, "E8") }
 func BenchmarkE9Repacketize(b *testing.B)    { benchExperiment(b, "E9") }
 func BenchmarkE10Congestion(b *testing.B)    { benchExperiment(b, "E10") }
 
+// BenchmarkCampaignParallel measures the Monte Carlo harness on an
+// E5-sized campaign (8 replicas of the cost-of-generality experiment),
+// with a single worker and with one worker per CPU. The replica work is
+// identical either way — the ratio is the harness's parallel speedup.
+func BenchmarkCampaignParallel(b *testing.B) {
+	e, ok := exp.ByID("E5")
+	if !ok {
+		b.Fatal("E5 missing")
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := harness.Campaign{Runs: 8, Parallel: workers, BaseSeed: 1988}
+				rep := c.RunExperiment(e)
+				if len(rep.Metrics) == 0 || len(rep.Failures) != 0 {
+					b.Fatalf("campaign broke: %+v", rep.Failures)
+				}
+			}
+		})
+	}
+}
+
 // TestAllExperimentsProduceStableResults runs every experiment twice with
 // the same seed and requires identical tables: the whole reproduction is
 // deterministic.
@@ -55,6 +81,12 @@ func TestAllExperimentsProduceStableResults(t *testing.T) {
 			}
 			if len(a.Table.Rows) == 0 {
 				t.Fatalf("%s produced no rows", e.ID)
+			}
+			if fmt.Sprint(a.Metrics) != fmt.Sprint(b.Metrics) {
+				t.Fatalf("%s metrics are nondeterministic:\n%v\n%v", e.ID, a.Metrics, b.Metrics)
+			}
+			if len(a.Metrics) == 0 {
+				t.Fatalf("%s emitted no metrics", e.ID)
 			}
 		})
 	}

@@ -3,24 +3,35 @@
 // and prints their tables. See DESIGN.md for the experiment index and
 // EXPERIMENTS.md for recorded results.
 //
+// With -runs N (N > 1) each experiment becomes a Monte Carlo campaign:
+// N replicas run on seeds base..base+N-1 — in parallel across -parallel
+// workers — and every metric is reported as mean ± 95% CI. Parallelism
+// never changes results, only wall time. -json exports the aggregated
+// campaign as machine-readable JSON.
+//
 // Usage:
 //
-//	experiments [-seed N] [-only E1,E5]
+//	experiments [-seed N] [-only E1,E5] [-runs N] [-parallel N] [-json file]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"darpanet/internal/exp"
+	"darpanet/internal/harness"
 )
 
 func main() {
-	seed := flag.Int64("seed", 1988, "simulation seed (runs are deterministic per seed)")
+	seed := flag.Int64("seed", 1988, "base simulation seed (replica i runs on seed+i)")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	runs := flag.Int("runs", 1, "replicas per experiment (a Monte Carlo campaign when > 1)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "campaign worker-pool size (affects wall time only, never results)")
+	jsonOut := flag.String("json", "", "write aggregated campaign results to this file as JSON")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -30,22 +41,71 @@ func main() {
 		}
 	}
 
-	fmt.Printf("darpanet experiment suite — seed %d\n", *seed)
+	fmt.Printf("darpanet experiment suite — base seed %d, %d run(s) per experiment\n", *seed, *runs)
 	fmt.Printf("reproducing: Clark, \"The Design Philosophy of the DARPA Internet Protocols\", SIGCOMM 1988\n\n")
 
+	var reports []*harness.Report
 	ran := 0
 	for _, e := range exp.All {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
 		start := time.Now()
-		res := e.Run(*seed)
-		fmt.Println(res.String())
+		c := harness.Campaign{
+			Runs:     *runs,
+			Parallel: *parallel,
+			BaseSeed: *seed,
+			OnReplicaDone: func(done, total int) {
+				if total > 1 {
+					fmt.Fprintf(os.Stderr, "\r%s: %d/%d replicas", e.ID, done, total)
+					if done == total {
+						fmt.Fprintln(os.Stderr)
+					}
+				}
+			},
+		}
+		rep := c.RunExperiment(e)
+		reports = append(reports, rep)
+
+		if *runs <= 1 {
+			// Single run: the classic table report.
+			if rep.First != nil {
+				fmt.Println(rep.First.String())
+			}
+		} else {
+			// Campaign: aggregate every metric as mean ± 95% CI.
+			fmt.Printf("%s — %s\n", rep.ID, rep.Title)
+			fmt.Printf("campaign: %d runs, seeds %d..%d, %d workers\n\n",
+				rep.Runs, rep.BaseSeed, rep.BaseSeed+int64(rep.Runs)-1, *parallel)
+			tbl := rep.Table()
+			fmt.Println(tbl.String())
+		}
+		for _, f := range rep.Failures {
+			fmt.Printf("FAILED replica seed %d: %s\n", f.Seed, f.Error)
+		}
 		fmt.Printf("(%s wall time: %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintln(os.Stderr, "no experiments matched -only")
 		os.Exit(1)
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := harness.WriteJSON(f, *seed, *runs, reports); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d experiment campaign(s), schema darpanet/campaign/v1)\n", *jsonOut, len(reports))
 	}
 }

@@ -51,6 +51,7 @@ func fastRIP() rip.Config {
 // e1Fault describes one fault scenario of the survivability experiment.
 type e1Fault struct {
 	name    string
+	key     string // metric-name fragment
 	inject  func(nw *core.Network, k *sim.Kernel)
 	vcApply func(n *vc.Network, k *sim.Kernel)
 }
@@ -65,11 +66,13 @@ func RunE1(seed int64) Result {
 	faults := []e1Fault{
 		{
 			name:    "none",
+			key:     "nofault",
 			inject:  func(*core.Network, *sim.Kernel) {},
 			vcApply: func(*vc.Network, *sim.Kernel) {},
 		},
 		{
 			name: "crash gw on path @5s",
+			key:  "crash",
 			inject: func(nw *core.Network, k *sim.Kernel) {
 				k.After(5*time.Second, func() { nw.CrashNode("gwB") })
 			},
@@ -79,6 +82,7 @@ func RunE1(seed int64) Result {
 		},
 		{
 			name: "crash gw @5s, restore @25s",
+			key:  "crash_restore",
 			inject: func(nw *core.Network, k *sim.Kernel) {
 				k.After(5*time.Second, func() { nw.CrashNode("gwB") })
 				k.After(25*time.Second, func() { nw.RestoreNode("gwB") })
@@ -93,6 +97,14 @@ func RunE1(seed int64) Result {
 	table := stats.Table{Header: []string{
 		"architecture", "fault", "survived", "delivered", "max stall", "completed",
 	}}
+	res := Result{
+		ID:    "E1",
+		Title: "Survivability under gateway failure (paper §3–4: fate-sharing)",
+		Notes: []string{
+			"datagram rows: TCP connection state lives only in h1/h2; RIP reroutes around the dead gateway and the same connection finishes.",
+			"virtual-circuit rows: per-circuit state in the crashed switch is unrecoverable; the circuit resets and its delivery stops.",
+		},
+	}
 
 	for _, f := range faults {
 		// --- datagram architecture -----------------------------------
@@ -114,6 +126,10 @@ func RunE1(seed int64) Result {
 			fmt.Sprintf("%.1fs", tr.MaxStall.Seconds()),
 			doneString(tr),
 		)
+		res.AddMetric("dg_"+f.key+"_survived", "", bool01(tr.Err == nil && tr.Done))
+		res.AddMetric("dg_"+f.key+"_delivered", "B", float64(tr.Received))
+		res.AddMetric("dg_"+f.key+"_max_stall", "s", tr.MaxStall.Seconds())
+		res.AddMetric("dg_"+f.key+"_done_at", "s", tr.ElapsedToDone().Seconds())
 
 		// --- virtual-circuit architecture ------------------------------
 		// Same shape: the preferred path h1-s100-s110-s101-h2 has an
@@ -165,17 +181,12 @@ func RunE1(seed int64) Result {
 			"-",
 			yesNo(received >= nbytes*9/10),
 		)
+		res.AddMetric("vc_"+f.key+"_survived", "", bool01(vcSurvived))
+		res.AddMetric("vc_"+f.key+"_delivered", "B", float64(received))
 	}
 
-	return Result{
-		ID:    "E1",
-		Title: "Survivability under gateway failure (paper §3–4: fate-sharing)",
-		Table: table,
-		Notes: []string{
-			"datagram rows: TCP connection state lives only in h1/h2; RIP reroutes around the dead gateway and the same connection finishes.",
-			"virtual-circuit rows: per-circuit state in the crashed switch is unrecoverable; the circuit resets and its delivery stops.",
-		},
-	}
+	res.Table = table
+	return res
 }
 
 // yesNo renders a boolean as a table cell.

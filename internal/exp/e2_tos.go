@@ -119,7 +119,7 @@ func RunE2(seed int64) Result {
 	table.AddRow("NVP voice", "mean one-way delay",
 		fmt.Sprintf("%.1f ms", fifo.voiceDelay), fmt.Sprintf("%.1f ms", prio.voiceDelay))
 
-	return Result{
+	res := Result{
 		ID:    "E2",
 		Title: "Four types of service sharing one congested 512 kb/s trunk (paper §5)",
 		Table: table,
@@ -128,6 +128,19 @@ func RunE2(seed int64) Result {
 			"with FIFO queueing the bulk stream's queue ruins voice; ToS precedence isolates it without the network knowing what 'voice' is.",
 		},
 	}
+	for _, v := range []struct {
+		key string
+		r   e2Result
+	}{{"fifo", fifo}, {"prio", prio}} {
+		res.AddMetric(v.key+"_tcp_goodput", "b/s", v.r.tcpGoodput)
+		res.AddMetric(v.key+"_udp_rtt_p50", "ms", v.r.udpRTTms)
+		res.AddMetric(v.key+"_udp_loss", "%", v.r.udpLossPct)
+		res.AddMetric(v.key+"_xnet_ops", "", float64(v.r.xnetOps))
+		res.AddMetric(v.key+"_xnet_resent", "", float64(v.r.xnetResent))
+		res.AddMetric(v.key+"_voice_miss", "%", v.r.voiceMiss)
+		res.AddMetric(v.key+"_voice_delay", "ms", v.r.voiceDelay)
+	}
+	return res
 }
 
 // ElapsedToDoneOr returns the completion time, or the fallback when the

@@ -22,14 +22,24 @@ func RunE3(seed int64) Result {
 
 	type leg struct {
 		name string
+		key  string // metric-name fragment
 		kind core.NetKind
 		cfg  phys.Config
 	}
 	legs := []leg{
-		{"LAN 10 Mb/s MTU1500", core.LAN, phys.Config{BitsPerSec: 10_000_000, Delay: time.Millisecond, MTU: 1500, QueueLimit: 64}},
-		{"serial 56 kb/s MTU296", core.P2P, phys.Config{BitsPerSec: 56_000, Delay: 20 * time.Millisecond, MTU: 296, QueueLimit: 64}},
-		{"radio 100 kb/s 5% loss MTU576", core.Radio, phys.Config{BitsPerSec: 100_000, Delay: 5 * time.Millisecond, Jitter: 10 * time.Millisecond, Loss: 0.05, MTU: 576, QueueLimit: 64}},
-		{"smallMTU 1 Mb/s MTU256", core.P2P, phys.Config{BitsPerSec: 1_000_000, Delay: 2 * time.Millisecond, MTU: 256, QueueLimit: 64}},
+		{"LAN 10 Mb/s MTU1500", "lan", core.LAN, phys.Config{BitsPerSec: 10_000_000, Delay: time.Millisecond, MTU: 1500, QueueLimit: 64}},
+		{"serial 56 kb/s MTU296", "serial", core.P2P, phys.Config{BitsPerSec: 56_000, Delay: 20 * time.Millisecond, MTU: 296, QueueLimit: 64}},
+		{"radio 100 kb/s 5% loss MTU576", "radio", core.Radio, phys.Config{BitsPerSec: 100_000, Delay: 5 * time.Millisecond, Jitter: 10 * time.Millisecond, Loss: 0.05, MTU: 576, QueueLimit: 64}},
+		{"smallMTU 1 Mb/s MTU256", "tiny", core.P2P, phys.Config{BitsPerSec: 1_000_000, Delay: 2 * time.Millisecond, MTU: 256, QueueLimit: 64}},
+	}
+
+	res := Result{
+		ID:    "E3",
+		Title: "One TCP connection across four unlike network technologies (paper §6)",
+		Notes: []string{
+			"the sender offers MSS 1400; gateways fragment down to MTU 296 and 256 en route, and only the destination reassembles.",
+			"IP asks each net only to carry a datagram: no reliability, no ordering, no common frame size.",
+		},
 	}
 
 	// Single-net runs: the same stack on each technology alone.
@@ -47,6 +57,8 @@ func RunE3(seed int64) Result {
 			stats.HumanBytes(uint64(tr.Received)), stats.HumanRate(goodput),
 			"0", yesNo(tr.Done),
 		)
+		res.AddMetric("single_"+l.key+"_goodput", "b/s", goodput)
+		res.AddMetric("single_"+l.key+"_done", "", bool01(tr.Done))
 	}
 
 	// The gauntlet: all four in one path, gateways between.
@@ -72,14 +84,10 @@ func RunE3(seed int64) Result {
 		stats.HumanBytes(uint64(tr.Received)), stats.HumanRate(goodput),
 		fmt.Sprint(frags), yesNo(tr.Done),
 	)
+	res.AddMetric("gauntlet_goodput", "b/s", goodput)
+	res.AddMetric("gauntlet_frags", "", float64(frags))
+	res.AddMetric("gauntlet_done", "", bool01(tr.Done))
 
-	return Result{
-		ID:    "E3",
-		Title: "One TCP connection across four unlike network technologies (paper §6)",
-		Table: table,
-		Notes: []string{
-			"the sender offers MSS 1400; gateways fragment down to MTU 296 and 256 en route, and only the destination reassembles.",
-			"IP asks each net only to carry a datagram: no reliability, no ordering, no common frame size.",
-		},
-	}
+	res.Table = table
+	return res
 }

@@ -94,8 +94,9 @@ func RunE4(seed int64) Result {
 	nw.SetNetDown("t0", true)
 	failTime := timeUntil(nw, 2*time.Minute, pingWorks(nw, "gw0", nw.Prefix("stub1").Host(1)))
 	m2, b2 := msgsAt()
+	linkcutMsgs := m2 - preMsgs
 	table.AddRow("link cut", "distance vector", yesNo(failTime >= 0),
-		durStr(failTime), fmt.Sprint(m2-preMsgs), stats.HumanBytes(b2-preBytes))
+		durStr(failTime), fmt.Sprint(linkcutMsgs), stats.HumanBytes(b2-preBytes))
 
 	// Gateway crash: gw4 (the center) dies; corner-to-corner traffic
 	// that favoured the center must route around it.
@@ -113,8 +114,9 @@ func RunE4(seed int64) Result {
 		return okAll
 	})
 	m3, b3 := msgsAt()
+	crashMsgs := m3 - preMsgs
 	table.AddRow("gateway crash", "distance vector", yesNo(crashTime >= 0),
-		durStr(crashTime), fmt.Sprint(m3-preMsgs), stats.HumanBytes(b3-preBytes))
+		durStr(crashTime), fmt.Sprint(crashMsgs), stats.HumanBytes(b3-preBytes))
 
 	// The static oracle: free and instant, but repairs nothing.
 	nw2 := gridNet(seed)
@@ -127,7 +129,7 @@ func RunE4(seed int64) Result {
 	repaired := ok && r.Metric > 1
 	table.AddRow("link cut", "static oracle", yesNo(repaired), "never", "0", "0 B")
 
-	return Result{
+	res := Result{
 		ID:    "E4",
 		Title: "Distributed routing among nine gateways (paper §7, goal 4)",
 		Table: table,
@@ -135,6 +137,18 @@ func RunE4(seed int64) Result {
 			"distance-vector gossip costs periodic messages forever, but heals every failure without any central authority — the trade the architecture chose.",
 		},
 	}
+	res.AddMetric("cold_converged", "", bool01(coldTime >= 0))
+	res.AddMetric("cold_converge_time", "s", coldTime.Seconds())
+	res.AddMetric("cold_msgs", "", float64(m1))
+	res.AddMetric("cold_bytes", "B", float64(b1))
+	res.AddMetric("linkcut_reconverged", "", bool01(failTime >= 0))
+	res.AddMetric("linkcut_reconverge_time", "s", failTime.Seconds())
+	res.AddMetric("linkcut_msgs", "", float64(linkcutMsgs))
+	res.AddMetric("crash_reconverged", "", bool01(crashTime >= 0))
+	res.AddMetric("crash_reconverge_time", "s", crashTime.Seconds())
+	res.AddMetric("crash_msgs", "", float64(crashMsgs))
+	res.AddMetric("static_linkcut_repaired", "", bool01(repaired))
+	return res
 }
 
 // pingWorks returns a probe: send one echo from node to dst and report

@@ -22,6 +22,14 @@ func RunE5(seed int64) Result {
 	table := stats.Table{Header: []string{
 		"workload", "parameter", "app bytes", "wire bytes", "overhead",
 	}}
+	res := Result{
+		ID:    "E5",
+		Title: "The cost of generality: headers and retransmission (paper §7, goal 5)",
+		Notes: []string{
+			"a 1-byte payload costs 29 wire bytes under UDP (the paper cites 40 for TCP/IP) — the price of universal datagrams.",
+			"under loss, retransmitted bytes cross the net twice and pure ACKs add more; efficiency falls as the paper concedes.",
+		},
+	}
 
 	// Part 1: header overhead by payload size, measured on the wire at
 	// the gateway (UDP: 8 + 20 IP; TCP adds acks too).
@@ -54,6 +62,7 @@ func RunE5(seed int64) Result {
 			stats.HumanBytes(app), stats.HumanBytes(wire),
 			stats.Pct(wire-app, wire),
 		)
+		res.AddMetric(fmt.Sprintf("udp_overhead_%db", size), "%", 100*float64(wire-app)/float64(wire))
 	}
 
 	// Part 2: TCP efficiency vs loss. Wire bytes at the gateway divided
@@ -81,15 +90,10 @@ func RunE5(seed int64) Result {
 			stats.HumanBytes(app), stats.HumanBytes(wire),
 			stats.Pct(wire-app, wire),
 		)
+		res.AddMetric(fmt.Sprintf("tcp_overhead_loss%d", int(loss*100)), "%", 100*float64(wire-app)/float64(wire))
+		res.AddMetric(fmt.Sprintf("tcp_delivered_loss%d", int(loss*100)), "B", float64(app))
 	}
 
-	return Result{
-		ID:    "E5",
-		Title: "The cost of generality: headers and retransmission (paper §7, goal 5)",
-		Table: table,
-		Notes: []string{
-			"a 1-byte payload costs 29 wire bytes under UDP (the paper cites 40 for TCP/IP) — the price of universal datagrams.",
-			"under loss, retransmitted bytes cross the net twice and pure ACKs add more; efficiency falls as the paper concedes.",
-		},
-	}
+	res.Table = table
+	return res
 }

@@ -85,7 +85,7 @@ func RunE6(seed int64) Result {
 	table.AddRow(withGood.partner, stats.HumanRate(withGood.victimRate), withGood.partnerRetr, fmt.Sprint(withGood.drops))
 	table.AddRow(withNaive.partner, stats.HumanRate(withNaive.victimRate), withNaive.partnerRetr, fmt.Sprint(withNaive.drops))
 
-	return Result{
+	res := Result{
 		ID:    "E6",
 		Title: "A naive host's TCP poisons the shared path (paper §7, goal 6)",
 		Table: table,
@@ -93,6 +93,12 @@ func RunE6(seed int64) Result {
 			"host attachment is cheap because reliability lives in the host — so nothing stops a bad host implementation from retransmitting into congestion and taking the victim's bandwidth with it.",
 		},
 	}
+	res.AddMetric("victim_alone_goodput", "b/s", alone)
+	res.AddMetric("victim_with_good_goodput", "b/s", withGood.victimRate)
+	res.AddMetric("victim_with_naive_goodput", "b/s", withNaive.victimRate)
+	res.AddMetric("good_partner_drops", "", float64(withGood.drops))
+	res.AddMetric("naive_partner_drops", "", float64(withNaive.drops))
+	return res
 }
 
 // RunE7 measures the seventh (and least met) goal: accountability. The
@@ -127,6 +133,13 @@ func RunE7(seed int64) Result {
 	table := stats.Table{Header: []string{
 		"gateway accounting", "state entries", "packets seen", "attributed to a flow",
 	}}
+	res := Result{
+		ID:    "E7",
+		Title: "Accounting at a gateway: the datagram is the wrong unit (paper §7, goal 7)",
+		Notes: []string{
+			"counting packets is trivial; attributing them to accountable conversations requires per-flow gateway state proportional to the traffic mix — state the architecture was designed not to keep.",
+		},
+	}
 	for _, limit := range []int{0, 36, 8, 1} {
 		nw, snap := build(limit)
 		nw.RunFor(time.Minute)
@@ -138,14 +151,10 @@ func RunE7(seed int64) Result {
 			label = fmt.Sprintf("per-flow, table capped at %d", limit)
 		}
 		table.AddRow(label, fmt.Sprint(flows), fmt.Sprint(total), stats.Pct(total-unattr, total))
+		res.AddMetric(fmt.Sprintf("attributed_limit%d", limit), "%", 100*float64(total-unattr)/float64(max64(total, 1)))
+		res.AddMetric(fmt.Sprintf("flows_limit%d", limit), "", float64(flows))
 	}
 
-	return Result{
-		ID:    "E7",
-		Title: "Accounting at a gateway: the datagram is the wrong unit (paper §7, goal 7)",
-		Table: table,
-		Notes: []string{
-			"counting packets is trivial; attributing them to accountable conversations requires per-flow gateway state proportional to the traffic mix — state the architecture was designed not to keep.",
-		},
-	}
+	res.Table = table
+	return res
 }

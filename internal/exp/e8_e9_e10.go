@@ -23,6 +23,13 @@ func RunE8(seed int64) Result {
 	table := stats.Table{Header: []string{
 		"hops", "UDP first byte", "TCP first byte (3WH)", "VC setup + first byte",
 	}}
+	res := Result{
+		ID:    "E8",
+		Title: "First-byte latency: no-setup datagrams vs circuit establishment (paper §8)",
+		Notes: []string{
+			"the raw datagram needs one one-way trip; TCP chooses to pay 1.5 RTT for its own reasons; the circuit must install state in every switch before any data moves — and the gap grows with path length.",
+		},
+	}
 
 	for _, hops := range []int{1, 2, 4, 6} {
 		cfg := phys.Config{BitsPerSec: 1_544_000, Delay: 5 * time.Millisecond, MTU: 1500}
@@ -104,16 +111,22 @@ func RunE8(seed int64) Result {
 
 		table.AddRow(fmt.Sprint(hops),
 			msStr(udpLatency), msStr(tcpAt), msStr(vcAt))
+		res.AddMetric(fmt.Sprintf("udp_first_byte_%dhops", hops), "ms", msVal(udpLatency))
+		res.AddMetric(fmt.Sprintf("tcp_first_byte_%dhops", hops), "ms", msVal(tcpAt))
+		res.AddMetric(fmt.Sprintf("vc_first_byte_%dhops", hops), "ms", msVal(vcAt))
 	}
 
-	return Result{
-		ID:    "E8",
-		Title: "First-byte latency: no-setup datagrams vs circuit establishment (paper §8)",
-		Table: table,
-		Notes: []string{
-			"the raw datagram needs one one-way trip; TCP chooses to pay 1.5 RTT for its own reasons; the circuit must install state in every switch before any data moves — and the gap grows with path length.",
-		},
+	res.Table = table
+	return res
+}
+
+// msVal converts a latency to milliseconds for a metric, preserving the
+// "never arrived" sentinel as -1.
+func msVal(d sim.Duration) float64 {
+	if d < 0 {
+		return -1
 	}
+	return float64(d) / 1e6
 }
 
 func msStr(d sim.Duration) string {
@@ -181,7 +194,7 @@ func RunE9(seed int64) Result {
 	table.AddRow("repacketize (byte seq nums)", fmt.Sprint(withSegs), fmt.Sprint(withRetr), fmt.Sprintf("%.2fs", withDone.Seconds()))
 	table.AddRow("original boundaries (packet-style)", fmt.Sprint(woSegs), fmt.Sprint(woRetr), fmt.Sprintf("%.2fs", woDone.Seconds()))
 
-	return Result{
+	res := Result{
 		ID:    "E9",
 		Title: "Repacketization on retransmit: what byte sequence numbers buy (paper §9)",
 		Table: table,
@@ -189,6 +202,13 @@ func RunE9(seed int64) Result {
 			"with byte sequence numbers the 40 stranded keystroke segments are retransmitted as ~2 MSS-size segments; a packet-sequenced protocol must resend all 40 tiny packets one timeout at a time.",
 		},
 	}
+	res.AddMetric("repack_segs", "", float64(withSegs))
+	res.AddMetric("repack_retrans", "", float64(withRetr))
+	res.AddMetric("repack_recovery", "s", withDone.Seconds())
+	res.AddMetric("orig_segs", "", float64(woSegs))
+	res.AddMetric("orig_retrans", "", float64(woRetr))
+	res.AddMetric("orig_recovery", "s", woDone.Seconds())
+	return res
 }
 
 // RunE10 runs the ablation the paper's era demanded: the same bottleneck
@@ -237,23 +257,28 @@ func RunE10(seed int64) Result {
 	table := stats.Table{Header: []string{
 		"senders", "congestion control", "aggregate goodput", "retrans ratio", "bottleneck drops",
 	}}
-	for _, senders := range []int{1, 4, 8} {
-		for _, cc := range []bool{true, false} {
-			label := "VJ (slow start + AIMD)"
-			if !cc {
-				label = "none (pre-1988)"
-			}
-			g, r, d := run(cc, senders)
-			table.AddRow(fmt.Sprint(senders), label, stats.HumanRate(g), r, fmt.Sprint(d))
-		}
-	}
-
-	return Result{
+	res := Result{
 		ID:    "E10",
 		Title: "Congestion control ablation at a 512 kb/s bottleneck (paper §9 era)",
-		Table: table,
 		Notes: []string{
 			"without VJ control the senders drive the bottleneck queue to overflow and pay for it in retransmissions — the congestion collapse the 1986-88 Internet actually suffered.",
 		},
 	}
+	for _, senders := range []int{1, 4, 8} {
+		for _, cc := range []bool{true, false} {
+			label := "VJ (slow start + AIMD)"
+			key := "vj"
+			if !cc {
+				label = "none (pre-1988)"
+				key = "nocc"
+			}
+			g, r, d := run(cc, senders)
+			table.AddRow(fmt.Sprint(senders), label, stats.HumanRate(g), r, fmt.Sprint(d))
+			res.AddMetric(fmt.Sprintf("goodput_%dsenders_%s", senders, key), "b/s", g)
+			res.AddMetric(fmt.Sprintf("drops_%dsenders_%s", senders, key), "", float64(d))
+		}
+	}
+
+	res.Table = table
+	return res
 }

@@ -12,12 +12,49 @@ import (
 	"darpanet/internal/stats"
 )
 
-// Result is one experiment's rendered outcome.
+// Metric is one named scalar outcome of an experiment run. Alongside the
+// rendered table every driver records its headline quantities as metrics
+// so the campaign harness (internal/harness) can aggregate replicas of
+// the same experiment across seeds into mean / CI statistics.
+type Metric struct {
+	Name  string  `json:"name"`
+	Unit  string  `json:"unit,omitempty"`
+	Value float64 `json:"value"`
+}
+
+// Result is one experiment's rendered outcome: the human-readable table
+// plus the machine-readable scalar metrics extracted from it.
 type Result struct {
-	ID    string
-	Title string
-	Table stats.Table
-	Notes []string
+	ID      string
+	Title   string
+	Table   stats.Table
+	Notes   []string
+	Metrics []Metric
+}
+
+// AddMetric appends one named scalar to the result. Drivers emit metrics
+// in a fixed order so replicas of the same experiment are comparable.
+func (r *Result) AddMetric(name, unit string, value float64) {
+	r.Metrics = append(r.Metrics, Metric{Name: name, Unit: unit, Value: value})
+}
+
+// Metric returns the named metric's value (0, false when absent).
+func (r *Result) Metric(name string) (float64, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// bool01 renders a boolean as the 0/1 metric convention: campaign means
+// of 0/1 metrics read directly as survival / completion rates.
+func bool01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // String renders the result as a report section.

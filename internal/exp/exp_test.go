@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -109,6 +110,56 @@ func TestE8Shape(t *testing.T) {
 		if !strings.HasSuffix(row[1], "ms") || !strings.HasSuffix(row[3], "ms") {
 			t.Fatalf("bad cells: %v", row)
 		}
+	}
+}
+
+// TestEveryExperimentEmitsMetrics pins the campaign contract on the
+// drivers: every experiment records named scalar metrics with unique
+// names and finite values, in a fixed order, so replicas aggregate
+// cleanly in internal/harness.
+func TestEveryExperimentEmitsMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	for _, e := range All {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			r := e.Run(7)
+			if len(r.Metrics) == 0 {
+				t.Fatalf("%s emitted no metrics", e.ID)
+			}
+			seen := map[string]bool{}
+			for _, m := range r.Metrics {
+				if m.Name == "" {
+					t.Fatalf("%s has an unnamed metric", e.ID)
+				}
+				if seen[m.Name] {
+					t.Fatalf("%s metric %q duplicated", e.ID, m.Name)
+				}
+				seen[m.Name] = true
+				if math.IsNaN(m.Value) || math.IsInf(m.Value, 0) {
+					t.Fatalf("%s metric %q = %v", e.ID, m.Name, m.Value)
+				}
+			}
+			if v, ok := r.Metric(r.Metrics[0].Name); !ok || v != r.Metrics[0].Value {
+				t.Fatal("Metric lookup broken")
+			}
+			if _, ok := r.Metric("no-such-metric"); ok {
+				t.Fatal("Metric invented a value")
+			}
+		})
+	}
+}
+
+func TestAddMetricAndBool01(t *testing.T) {
+	var r Result
+	r.AddMetric("a", "ms", 1.5)
+	r.AddMetric("b", "", bool01(true))
+	if len(r.Metrics) != 2 || r.Metrics[0].Unit != "ms" {
+		t.Fatalf("metrics = %+v", r.Metrics)
+	}
+	if bool01(true) != 1 || bool01(false) != 0 {
+		t.Fatal("bool01")
 	}
 }
 

@@ -32,6 +32,24 @@ func (s *Sample) AddDuration(d sim.Duration) {
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.xs) }
 
+// Values returns a copy of the observations. The order is unspecified
+// once a rank query (Percentile/Min/Max) has sorted the sample.
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
+
+// Merge adds every observation of other into s. The other sample is not
+// modified.
+func (s *Sample) Merge(other *Sample) {
+	if other == nil || len(other.xs) == 0 {
+		return
+	}
+	s.xs = append(s.xs, other.xs...)
+	s.sorted = false
+}
+
 // Mean returns the arithmetic mean (0 when empty).
 func (s *Sample) Mean() float64 {
 	if len(s.xs) == 0 {
@@ -55,6 +73,59 @@ func (s *Sample) Stddev() float64 {
 		sum += (x - m) * (x - m)
 	}
 	return math.Sqrt(sum / float64(len(s.xs)))
+}
+
+// StddevSample returns the Bessel-corrected (n-1) standard deviation,
+// the estimator confidence intervals want (0 for fewer than two
+// observations).
+func (s *Sample) StddevSample() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += (x - m) * (x - m)
+	}
+	return math.Sqrt(sum / float64(n-1))
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the
+// mean, using the Student t critical value for n-1 degrees of freedom:
+// the true mean lies in Mean() ± CI95() with 95% confidence under the
+// usual normality assumption. Zero for fewer than two observations.
+func (s *Sample) CI95() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	return tCrit95(n-1) * s.StddevSample() / math.Sqrt(float64(n))
+}
+
+// tCrit95 is the two-sided 95% Student t critical value for df degrees
+// of freedom (exact to three decimals through df=30, then the standard
+// table breakpoints, converging on the normal 1.960).
+func tCrit95(df int) float64 {
+	table := [...]float64{
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	switch {
+	case df < 1:
+		return 0
+	case df <= len(table):
+		return table[df-1]
+	case df <= 40:
+		return 2.021
+	case df <= 60:
+		return 2.000
+	case df <= 120:
+		return 1.980
+	default:
+		return 1.960
+	}
 }
 
 func (s *Sample) sortIfNeeded() {

@@ -43,6 +43,109 @@ func TestPercentiles(t *testing.T) {
 	}
 }
 
+// TestEmptySampleGuards pins the degenerate-input contract the campaign
+// harness relies on: every distribution query on an empty sample answers
+// 0 rather than dividing by zero or indexing past the slice.
+func TestEmptySampleGuards(t *testing.T) {
+	var s Sample
+	if s.N() != 0 {
+		t.Fatal("empty N")
+	}
+	for name, got := range map[string]float64{
+		"Mean":         s.Mean(),
+		"Stddev":       s.Stddev(),
+		"StddevSample": s.StddevSample(),
+		"CI95":         s.CI95(),
+		"Percentile0":  s.Percentile(0),
+		"Percentile50": s.Percentile(50),
+		"Min":          s.Min(),
+		"Max":          s.Max(),
+	} {
+		if got != 0 {
+			t.Fatalf("empty sample %s = %v, want 0", name, got)
+		}
+	}
+	if vs := s.Values(); len(vs) != 0 {
+		t.Fatalf("empty Values = %v", vs)
+	}
+}
+
+// TestSingleElementSampleGuards: one observation has no spread, so the
+// spread statistics are 0 and every rank statistic is the observation.
+func TestSingleElementSampleGuards(t *testing.T) {
+	var s Sample
+	s.Add(42)
+	if s.Mean() != 42 || s.Min() != 42 || s.Max() != 42 {
+		t.Fatalf("mean/min/max = %v/%v/%v", s.Mean(), s.Min(), s.Max())
+	}
+	for _, p := range []float64{0, 50, 100} {
+		if s.Percentile(p) != 42 {
+			t.Fatalf("p%v = %v", p, s.Percentile(p))
+		}
+	}
+	if s.Stddev() != 0 || s.StddevSample() != 0 || s.CI95() != 0 {
+		t.Fatalf("spread of single element: %v/%v/%v", s.Stddev(), s.StddevSample(), s.CI95())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Sample
+	a.Add(1)
+	a.Add(2)
+	b.Add(3)
+	b.Add(4)
+	a.Merge(&b)
+	if a.N() != 4 || a.Mean() != 2.5 {
+		t.Fatalf("merged n=%d mean=%v", a.N(), a.Mean())
+	}
+	if b.N() != 2 {
+		t.Fatal("merge modified the source")
+	}
+	a.Merge(nil)
+	a.Merge(&Sample{})
+	if a.N() != 4 {
+		t.Fatal("merging nothing changed the sample")
+	}
+}
+
+func TestStddevSampleAndCI95(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	// Population stddev is 2; sample stddev is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if d := s.StddevSample(); math.Abs(d-want) > 1e-9 {
+		t.Fatalf("sample stddev = %v, want %v", d, want)
+	}
+	// CI95 = t(7) * s / sqrt(8) with t(7) = 2.365.
+	wantCI := 2.365 * want / math.Sqrt(8)
+	if ci := s.CI95(); math.Abs(ci-wantCI) > 1e-9 {
+		t.Fatalf("CI95 = %v, want %v", ci, wantCI)
+	}
+}
+
+func TestTCrit95(t *testing.T) {
+	cases := map[int]float64{1: 12.706, 7: 2.365, 30: 2.042, 31: 2.021, 50: 2.000, 100: 1.980, 1000: 1.960}
+	for df, want := range cases {
+		if got := tCrit95(df); got != want {
+			t.Fatalf("tCrit95(%d) = %v, want %v", df, got, want)
+		}
+	}
+	if tCrit95(0) != 0 {
+		t.Fatal("df=0 should answer 0")
+	}
+	// Monotone non-increasing in df.
+	prev := tCrit95(1)
+	for df := 2; df <= 200; df++ {
+		cur := tCrit95(df)
+		if cur > prev {
+			t.Fatalf("tCrit95 not monotone at df=%d", df)
+		}
+		prev = cur
+	}
+}
+
 func TestStddev(t *testing.T) {
 	var s Sample
 	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Full verification gate: build, vet, and the test suite under the race
+# detector (the campaign harness in internal/harness is the one place
+# real concurrency exists — keep it honest).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...

@@ -85,7 +85,7 @@ type Speaker struct {
 	learned map[ipv4.Prefix]map[ipv4.Addr]learnedRoute
 	stats   Stats
 	started bool
-	tick    *sim.Timer
+	tick    sim.Timer
 }
 
 // New creates a speaker for autonomous system as on border gateway n.
@@ -141,9 +141,7 @@ func (s *Speaker) Start() {
 // Stop halts the cycle.
 func (s *Speaker) Stop() {
 	s.started = false
-	if s.tick != nil {
-		s.tick.Stop()
-	}
+	s.tick.Stop()
 }
 
 func (s *Speaker) periodic() {

@@ -1,0 +1,110 @@
+package harness_test
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"testing"
+	"time"
+
+	"darpanet/internal/exp"
+	"darpanet/internal/harness"
+	"darpanet/internal/ipv4"
+	"darpanet/internal/phys"
+	"darpanet/internal/sim"
+	"darpanet/internal/stack"
+)
+
+// pooledTrafficExperiment builds a seeded datagram workload across a
+// gateway — randomized sizes straddling the MTU so fragmentation,
+// reassembly and the forwarding fast path all run — and reports metrics
+// that fingerprint the delivered byte stream. The disablePool flag flips
+// the per-kernel packet pool into pass-through mode, so a campaign run
+// with it set is the unpooled control group.
+func pooledTrafficExperiment(disablePool bool) func(seed int64) exp.Result {
+	return func(seed int64) exp.Result {
+		k := sim.NewKernel(seed)
+		stack.PoolFor(k).SetDisabled(disablePool)
+
+		l1 := phys.NewP2P(k, "l1", phys.Config{BitsPerSec: 10_000_000, Delay: time.Millisecond, MTU: 600, QueueLimit: 64})
+		l2 := phys.NewP2P(k, "l2", phys.Config{BitsPerSec: 10_000_000, Delay: time.Millisecond, MTU: 600, QueueLimit: 64})
+		h1 := stack.NewNode(k, "h1")
+		gw := stack.NewNode(k, "gw")
+		gw.Forwarding = true
+		h2 := stack.NewNode(k, "h2")
+		n1 := ipv4.MustParsePrefix("10.0.1.0/24")
+		n2 := ipv4.MustParsePrefix("10.0.2.0/24")
+		i1 := h1.AttachInterface(l1, n1.Host(1), n1)
+		g1 := gw.AttachInterface(l1, n1.Host(254), n1)
+		g2 := gw.AttachInterface(l2, n2.Host(254), n2)
+		i2 := h2.AttachInterface(l2, n2.Host(1), n2)
+		i1.AddNeighbor(g1.Addr, g1.NIC.Addr())
+		g1.AddNeighbor(i1.Addr, i1.NIC.Addr())
+		g2.AddNeighbor(i2.Addr, i2.NIC.Addr())
+		i2.AddNeighbor(g2.Addr, g2.NIC.Addr())
+		def := ipv4.MustParsePrefix("0.0.0.0/0")
+		h1.Table.Add(stack.Route{Prefix: def, Via: g1.Addr, Source: stack.SourceStatic})
+		h2.Table.Add(stack.Route{Prefix: def, Via: g2.Addr, Source: stack.SourceStatic})
+
+		var delivered, payloadBytes uint64
+		crc := crc32.NewIEEE()
+		h2.RegisterProtocol(200, func(h ipv4.Header, p []byte) {
+			delivered++
+			payloadBytes += uint64(len(p))
+			crc.Write(p)
+		})
+
+		rng := k.Rand()
+		hdr := ipv4.Header{Dst: h2.Addr(), Proto: 200}
+		for i := 0; i < 48; i++ {
+			payload := make([]byte, 16+rng.Intn(1400))
+			rng.Read(payload)
+			at := sim.Duration(rng.Int63n(int64(50 * time.Millisecond)))
+			k.After(at, func() { h1.Send(hdr, payload) })
+		}
+		k.Run()
+
+		r := exp.Result{ID: "DET", Title: "pooled datagram determinism"}
+		r.AddMetric("delivered", "datagrams", float64(delivered))
+		r.AddMetric("payload_bytes", "B", float64(payloadBytes))
+		r.AddMetric("payload_crc32", "", float64(crc.Sum32()))
+		r.AddMetric("end_time", "ns", float64(k.Now()))
+		return r
+	}
+}
+
+// TestCampaignJSONByteIdenticalPoolingOnOff is the acceptance check for
+// buffer reuse: the campaign's JSON export must be byte-for-byte
+// identical with pooling on or off, at any worker count. Any divergence
+// means a pooled buffer leaked live bytes into a result.
+func TestCampaignJSONByteIdenticalPoolingOnOff(t *testing.T) {
+	const runs = 6
+	const baseSeed = 1988
+	var want []byte
+	var wantDesc string
+	for _, poolOff := range []bool{false, true} {
+		for _, workers := range []int{1, 2, 4} {
+			rep := harness.Campaign{Runs: runs, Parallel: workers, BaseSeed: baseSeed}.
+				RunFunc("DET", "pooled datagram determinism", pooledTrafficExperiment(poolOff))
+			if len(rep.Failures) > 0 {
+				t.Fatalf("poolOff=%v workers=%d: replica failures: %+v", poolOff, workers, rep.Failures)
+			}
+			if len(rep.Metrics) == 0 || rep.Metrics[0].Mean == 0 {
+				t.Fatalf("poolOff=%v workers=%d: no traffic delivered", poolOff, workers)
+			}
+			var buf bytes.Buffer
+			if err := harness.WriteJSON(&buf, baseSeed, runs, []*harness.Report{rep}); err != nil {
+				t.Fatal(err)
+			}
+			desc := fmt.Sprintf("poolOff=%v workers=%d", poolOff, workers)
+			if want == nil {
+				want, wantDesc = append([]byte(nil), buf.Bytes()...), desc
+				continue
+			}
+			if !bytes.Equal(want, buf.Bytes()) {
+				t.Fatalf("campaign JSON diverged: %s vs %s\n--- %s ---\n%s\n--- %s ---\n%s",
+					desc, wantDesc, wantDesc, want, desc, buf.Bytes())
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sort"
 
+	"darpanet/internal/packet"
 	"darpanet/internal/sim"
 )
 
@@ -62,7 +63,7 @@ type fragPiece struct {
 type fragGroup struct {
 	pieces   []fragPiece
 	totalLen int // payload length once the last fragment arrives; -1 unknown
-	timer    *sim.Timer
+	timer    sim.Timer
 	tos      uint8
 	ttl      uint8
 }
@@ -83,6 +84,7 @@ type Reassembler struct {
 	timeout sim.Duration
 	groups  map[reassemblyKey]*fragGroup
 	stats   ReassemblerStats
+	pool    *packet.Pool
 }
 
 // DefaultReassemblyTimeout matches the traditional 30-second upper bound.
@@ -97,6 +99,12 @@ func NewReassembler(k *sim.Kernel, timeout sim.Duration) *Reassembler {
 	return &Reassembler{k: k, timeout: timeout, groups: make(map[reassemblyKey]*fragGroup)}
 }
 
+// SetPool makes the reassembler hold fragment copies and build reassembled
+// payloads in pool-backed storage. A reassembled payload returned by Add is
+// then owned by the caller, who puts it back into the same pool when the
+// protocol handler returns.
+func (r *Reassembler) SetPool(p *packet.Pool) { r.pool = p }
+
 // Stats returns a copy of the reassembly counters.
 func (r *Reassembler) Stats() ReassemblerStats { return r.stats }
 
@@ -106,7 +114,12 @@ func (r *Reassembler) Pending() int { return len(r.groups) }
 // Add accepts one fragment. When the fragment completes its datagram, Add
 // returns the reassembled header (offsets cleared, total length of the
 // whole datagram) and full payload with done=true. Unfragmented datagrams
-// pass straight through.
+// pass straight through (the returned payload aliases the input).
+//
+// Fragment payloads are copied: the caller's storage may be pool-backed
+// and is released as soon as Add returns. With SetPool the copies and the
+// reassembled payload come from the pool, and the caller owns (and must
+// Put back) a reassembled result.
 func (r *Reassembler) Add(h Header, payload []byte) (Header, []byte, bool) {
 	if !h.MF && h.FragOff == 0 {
 		r.stats.Datagrams++
@@ -118,12 +131,17 @@ func (r *Reassembler) Add(h Header, payload []byte) (Header, []byte, bool) {
 	if g == nil {
 		g = &fragGroup{totalLen: -1, tos: h.TOS, ttl: h.TTL}
 		g.timer = r.k.After(r.timeout, func() {
+			for _, p := range g.pieces {
+				r.pool.Put(p.data)
+			}
 			delete(r.groups, key)
 			r.stats.Timeouts++
 		})
 		r.groups[key] = g
 	}
-	g.pieces = append(g.pieces, fragPiece{off: h.FragOff, data: payload})
+	piece := r.pool.Get(len(payload))
+	copy(piece, payload)
+	g.pieces = append(g.pieces, fragPiece{off: h.FragOff, data: piece})
 	if !h.MF {
 		g.totalLen = h.FragOff + len(payload)
 	}
@@ -145,7 +163,8 @@ func (r *Reassembler) Add(h Header, payload []byte) (Header, []byte, bool) {
 		return Header{}, nil, false
 	}
 	// Complete: splice, honoring overlaps by first-writer-wins per byte.
-	buf := make([]byte, g.totalLen)
+	// The coverage check above guarantees every byte of buf is written.
+	buf := r.pool.Get(g.totalLen)
 	seen := make([]bool, g.totalLen)
 	for _, p := range g.pieces {
 		for i, b := range p.data {
@@ -154,6 +173,9 @@ func (r *Reassembler) Add(h Header, payload []byte) (Header, []byte, bool) {
 				seen[at] = true
 			}
 		}
+	}
+	for _, p := range g.pieces {
+		r.pool.Put(p.data)
 	}
 	g.timer.Stop()
 	delete(r.groups, key)

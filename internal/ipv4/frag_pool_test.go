@@ -1,0 +1,107 @@
+package ipv4
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"darpanet/internal/packet"
+	"darpanet/internal/sim"
+)
+
+// TestReassemblerCopiesUnderBufferReuse pins the pooled-input contract:
+// the stack releases the carrying frame as soon as Add returns, so the
+// reassembler must copy each fragment payload into its own storage. The
+// test delivers every fragment through one scratch buffer and poisons it
+// right after each Add — if the reassembler aliased its input, the
+// reassembled datagram would come back full of 0xEE.
+func TestReassemblerCopiesUnderBufferReuse(t *testing.T) {
+	k := sim.NewKernel(1)
+	r := NewReassembler(k, 0)
+	r.SetPool(packet.NewPool())
+	payload := seqPayload(2000)
+	hs, ps, err := Fragment(fragHeader(), payload, 296)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]byte, 2048)
+	var got []byte
+	for i := range hs {
+		n := copy(scratch, ps[i])
+		_, data, done := r.Add(hs[i], scratch[:n])
+		for j := 0; j < n; j++ {
+			scratch[j] = 0xEE
+		}
+		if done {
+			got = data
+		}
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("reassembled payload corrupted by carrier-buffer reuse")
+	}
+}
+
+// TestReassemblerTimeoutReturnsPoolBuffers checks the expiry path gives
+// every pooled piece back: an abandoned group must not leak its copies.
+func TestReassemblerTimeoutReturnsPoolBuffers(t *testing.T) {
+	k := sim.NewKernel(1)
+	pool := packet.NewPool()
+	r := NewReassembler(k, 5*time.Second)
+	r.SetPool(pool)
+	hs, ps, err := Fragment(fragHeader(), seqPayload(900), 296)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliver all but the last fragment; the group can never complete.
+	for i := 0; i < len(hs)-1; i++ {
+		r.Add(hs[i], ps[i])
+	}
+	s := pool.Stats()
+	if s.Gets != uint64(len(hs)-1) {
+		t.Fatalf("pieces drawn from pool = %d, want %d", s.Gets, len(hs)-1)
+	}
+	k.RunFor(6 * time.Second)
+	if r.Pending() != 0 {
+		t.Fatal("group not expired")
+	}
+	after := pool.Stats()
+	if after.Puts != after.Gets {
+		t.Fatalf("timeout leaked pooled pieces: gets=%d puts=%d", after.Gets, after.Puts)
+	}
+}
+
+// TestReassemblerCompletionAccounting checks the completion path: pieces
+// go back to the pool when spliced, the reassembled buffer itself is
+// pool-owned, and returning it balances the books — exactly the protocol
+// stack.deliver follows.
+func TestReassemblerCompletionAccounting(t *testing.T) {
+	k := sim.NewKernel(1)
+	pool := packet.NewPool()
+	r := NewReassembler(k, 0)
+	r.SetPool(pool)
+	payload := seqPayload(1200)
+	hs, ps, err := Fragment(fragHeader(), payload, 296)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	for i := range hs {
+		if _, data, done := r.Add(hs[i], ps[i]); done {
+			got = data
+		}
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("reassembly failed")
+	}
+	s := pool.Stats()
+	// One Get per piece plus one for the splice target; every piece Put
+	// back on completion, leaving exactly the reassembled buffer out.
+	if s.Gets != uint64(len(hs))+1 || s.Puts != uint64(len(hs)) {
+		t.Fatalf("accounting before release: gets=%d puts=%d pieces=%d", s.Gets, s.Puts, len(hs))
+	}
+	pool.Put(got)
+	s = pool.Stats()
+	if s.Gets != s.Puts {
+		t.Fatalf("reassembled buffer not returnable: gets=%d puts=%d", s.Gets, s.Puts)
+	}
+}

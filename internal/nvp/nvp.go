@@ -49,7 +49,7 @@ type Sender struct {
 	TOS uint8
 
 	Sent   uint64
-	ticker *sim.Timer
+	ticker sim.Timer
 	seq    uint32
 }
 
@@ -86,9 +86,7 @@ func (s *Sender) Start(duration sim.Duration) {
 
 // Stop halts transmission.
 func (s *Sender) Stop() {
-	if s.ticker != nil {
-		s.ticker.Stop()
-	}
+	s.ticker.Stop()
 }
 
 func (s *Sender) emit() {
@@ -221,9 +219,11 @@ func (r *Receiver) input(h ipv4.Header, data []byte) {
 	}
 	r.stats.OnTime++
 	if r.onFrame != nil {
+		// Frames are meant to be held until PlayableBy, but data is a
+		// transient view of a pooled buffer — copy the voice payload out.
 		r.onFrame(Frame{
 			Seq: seq, SentAt: sentAt, Arrived: now,
-			Payload: data[headerLen:], PlayableBy: deadline,
+			Payload: append([]byte(nil), data[headerLen:]...), PlayableBy: deadline,
 		})
 	}
 }

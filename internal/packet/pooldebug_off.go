@@ -1,0 +1,14 @@
+//go:build !pooldebug
+
+package packet
+
+// poolDebugState is empty in normal builds: release tracking and buffer
+// poisoning compile away entirely. Build with -tags pooldebug to enable
+// them (see pooldebug_on.go).
+type poolDebugState struct{}
+
+func (poolDebugState) onGet([]byte) {}
+func (poolDebugState) onPut([]byte) {}
+
+// PoisonEnabled reports whether the pooldebug build tag is active.
+const PoisonEnabled = false

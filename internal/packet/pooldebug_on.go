@@ -1,0 +1,46 @@
+//go:build pooldebug
+
+package packet
+
+import "fmt"
+
+// PoisonByte is scribbled over every byte of a released buffer under the
+// pooldebug build tag. A reader holding a frame past its Release sees
+// 0xDB where its data used to be, turning a silent use-after-release into
+// a checksum failure or an assertion the tests catch immediately.
+const PoisonByte = 0xDB
+
+// PoisonEnabled reports whether the pooldebug build tag is active.
+const PoisonEnabled = true
+
+// poolDebugState tracks which buffers are on a free list, keyed by the
+// address of their first byte, and panics on double release — the pooled
+// analogue of a double free.
+type poolDebugState struct {
+	released map[*byte]bool
+}
+
+func (d *poolDebugState) onPut(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	key := &b[:1][0]
+	if d.released == nil {
+		d.released = make(map[*byte]bool)
+	}
+	if d.released[key] {
+		panic(fmt.Sprintf("packet: double Release of pooled buffer %p", key))
+	}
+	d.released[key] = true
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = PoisonByte
+	}
+}
+
+func (d *poolDebugState) onGet(b []byte) {
+	if cap(b) == 0 || d.released == nil {
+		return
+	}
+	delete(d.released, &b[:1][0])
+}

@@ -7,6 +7,18 @@ import (
 	"darpanet/internal/sim"
 )
 
+// clonePayload copies a frame payload for fan-out delivery, drawing from
+// the frame's pool when it has one so broadcast replication stays on the
+// pooled path.
+func clonePayload(pool *packet.Pool, p []byte) []byte {
+	if pool == nil {
+		return packet.Clone(p)
+	}
+	c := pool.Get(len(p))
+	copy(c, p)
+	return c
+}
+
 // P2P is a full-duplex point-to-point link — the simulated analogue of the
 // 56 kb/s serial trunks the ARPANET was built from. Exactly two stations
 // may attach; each direction has its own transmitter and queue.
@@ -27,7 +39,7 @@ func NewP2P(k *sim.Kernel, name string, cfg Config) *P2P {
 	}
 	p := &P2P{k: k, name: name, cfg: cfg}
 	for i := range p.tx {
-		p.tx[i] = &transmitter{k: k, cfg: &p.cfg, deliver: p.propagate, drops: &p.Drops}
+		p.tx[i] = newTransmitter(k, &p.cfg, p.propagate, &p.Drops)
 	}
 	return p
 }
@@ -77,19 +89,23 @@ func (p *P2P) send(from *NIC, f Frame) {
 
 func (p *P2P) propagate(from *NIC, f Frame) {
 	if p.down {
+		f.Release()
 		return
 	}
 	if p.cfg.Loss > 0 && p.k.Rand().Float64() < p.cfg.Loss {
 		if peer := p.Peer(from); peer != nil {
 			peer.stats.RxLost++
 		}
+		f.Release()
 		return
 	}
 	peer := p.Peer(from)
 	if peer == nil {
+		f.Release()
 		return
 	}
 	if f.Dst != Broadcast && f.Dst != peer.addr {
+		f.Release()
 		return
 	}
 	peer.deliver(f)
@@ -115,7 +131,7 @@ func NewBus(k *sim.Kernel, name string, cfg Config) *Bus {
 		cfg.MTU = 1500
 	}
 	b := &Bus{k: k, name: name, cfg: cfg, next: 1}
-	b.tx = &transmitter{k: k, cfg: &b.cfg, deliver: b.propagate, drops: &b.Drops}
+	b.tx = newTransmitter(k, &b.cfg, b.propagate, &b.Drops)
 	return b
 }
 
@@ -140,8 +156,10 @@ func (b *Bus) send(from *NIC, f Frame) { b.tx.enqueue(from, f) }
 
 func (b *Bus) propagate(from *NIC, f Frame) {
 	if b.down {
+		f.Release()
 		return
 	}
+	delivered := false
 	for _, st := range b.stations {
 		if st == from {
 			continue
@@ -155,9 +173,16 @@ func (b *Bus) propagate(from *NIC, f Frame) {
 		}
 		g := f
 		if f.Dst == Broadcast {
-			g.Payload = packet.Clone(f.Payload)
+			// Each broadcast receiver gets (and releases) its own copy;
+			// the original is released below.
+			g.Payload = clonePayload(f.pool, f.Payload)
+		} else {
+			delivered = true
 		}
 		st.deliver(g)
+	}
+	if !delivered {
+		f.Release()
 	}
 }
 
@@ -213,9 +238,11 @@ func (r *Radio) lossNow() float64 {
 
 func (r *Radio) propagate(from *NIC, f Frame) {
 	if r.down {
+		f.Release()
 		return
 	}
 	loss := r.lossNow()
+	delivered := false
 	for _, st := range r.stations {
 		if st == from {
 			continue
@@ -229,8 +256,13 @@ func (r *Radio) propagate(from *NIC, f Frame) {
 		}
 		g := f
 		if f.Dst == Broadcast {
-			g.Payload = packet.Clone(f.Payload)
+			g.Payload = clonePayload(f.pool, f.Payload)
+		} else {
+			delivered = true
 		}
 		st.deliver(g)
+	}
+	if !delivered {
+		f.Release()
 	}
 }

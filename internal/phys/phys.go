@@ -9,11 +9,19 @@
 // packet-radio nets — each with its own bandwidth, propagation delay, MTU,
 // framing overhead and loss behaviour, so the IP layer above is exercised
 // against the same diversity the ARPANET-era internet faced.
+//
+// Frame payloads may be pool-backed (see packet.Pool): a NIC with a pool
+// attached stamps outgoing frames with it, ownership travels with the
+// frame, and whichever component finally consumes the frame — the
+// receiving stack, or the medium when it drops or loses the frame —
+// releases the payload back to the pool. NICs without a pool carry plain
+// garbage-collected payloads and Release is a no-op.
 package phys
 
 import (
 	"fmt"
 
+	"darpanet/internal/packet"
 	"darpanet/internal/sim"
 )
 
@@ -32,10 +40,23 @@ func (a Addr) String() string {
 }
 
 // Frame is a link-level frame: a payload addressed between two stations of
-// one medium.
+// one medium. The frame owns its payload; the owner hands the frame on
+// (transferring ownership) or calls Release exactly once.
 type Frame struct {
 	Src, Dst Addr
 	Payload  []byte
+	pool     *packet.Pool
+}
+
+// Release returns the payload to the pool it was drawn from and empties
+// the frame. It is a no-op for unpooled frames, so every consumption
+// point may call it unconditionally.
+func (f *Frame) Release() {
+	if f.pool != nil && f.Payload != nil {
+		f.pool.Put(f.Payload)
+	}
+	f.Payload = nil
+	f.pool = nil
 }
 
 // Stats counts a NIC's traffic.
@@ -56,13 +77,23 @@ type NIC struct {
 	up       bool
 	recv     func(Frame)
 	onTxDrop func(payload []byte)
+	pool     *packet.Pool
 	stats    Stats
 }
 
 // OnTxDrop registers a callback invoked with the payload of each frame
 // dropped at this interface's output queue. The stack uses it to emit
 // ICMP source quench — the era's (admittedly weak) congestion signal.
+// The payload is only valid for the duration of the call.
 func (n *NIC) OnTxDrop(fn func(payload []byte)) { n.onTxDrop = fn }
+
+// SetPool attaches a buffer pool to the interface. Payloads passed to
+// Send must then be owned by the caller and drawn from the same pool;
+// Send takes ownership and the frame's eventual consumer releases them.
+func (n *NIC) SetPool(p *packet.Pool) { n.pool = p }
+
+// Pool returns the interface's buffer pool, or nil.
+func (n *NIC) Pool() *packet.Pool { return n.pool }
 
 // Name returns the interface name given at attach time (e.g. "gw1.eth0").
 func (n *NIC) Name() string { return n.name }
@@ -85,31 +116,37 @@ func (n *NIC) Up() bool { return n.up }
 func (n *NIC) SetUp(up bool) { n.up = up }
 
 // SetReceiver registers the function invoked, on the simulation goroutine,
-// for each frame the medium delivers to this interface.
+// for each frame the medium delivers to this interface. The receiver takes
+// ownership of the frame.
 func (n *NIC) SetReceiver(fn func(Frame)) { n.recv = fn }
 
 // Stats returns a copy of the interface counters.
 func (n *NIC) Stats() Stats { return n.stats }
 
-// Send transmits payload to the station dst on the NIC's medium. Payloads
-// longer than the medium MTU are a caller bug (the IP layer fragments
-// first) and panic to surface the bug in tests.
+// Send transmits payload to the station dst on the NIC's medium, taking
+// ownership of the payload (for pooled NICs it is released downstream —
+// do not touch it after Send). Payloads longer than the medium MTU are a
+// caller bug (the IP layer fragments first) and panic to surface the bug
+// in tests.
 func (n *NIC) Send(dst Addr, payload []byte) {
 	if len(payload) > n.MTU() {
 		panic(fmt.Sprintf("phys: %s: payload %d exceeds MTU %d", n.name, len(payload), n.MTU()))
 	}
+	f := Frame{Src: n.addr, Dst: dst, Payload: payload, pool: n.pool}
 	if !n.up {
 		n.stats.TxDrops++
+		f.Release()
 		return
 	}
 	n.stats.TxFrames++
 	n.stats.TxBytes += uint64(len(payload))
-	n.medium.send(n, Frame{Src: n.addr, Dst: dst, Payload: payload})
+	n.medium.send(n, f)
 }
 
 // deliver hands a frame up to the stack if the interface is up.
 func (n *NIC) deliver(f Frame) {
 	if !n.up || n.recv == nil {
+		f.Release()
 		return
 	}
 	n.stats.RxFrames++
@@ -180,13 +217,58 @@ func (c *Config) serializeTime(n int) sim.Duration {
 // transmitter serializes frames one at a time at the configured rate, with
 // a queueing discipline holding the frames that wait. Each medium owns one
 // transmitter per sending station (P2P) or one shared (bus, radio).
+//
+// The transmitter schedules no closures: the serialization-done callback
+// is bound once at construction (only one frame serializes at a time, so
+// its state lives in cur), and propagation delays — several frames can be
+// in flight at once — run through a free list of flight records whose
+// callbacks are bound at first allocation and reused thereafter.
 type transmitter struct {
-	k       *sim.Kernel
-	cfg     *Config
-	qdisc   Qdisc
-	busy    bool
-	deliver func(from *NIC, f Frame)
-	drops   *uint64
+	k           *sim.Kernel
+	cfg         *Config
+	qdisc       Qdisc
+	busy        bool
+	deliver     func(from *NIC, f Frame)
+	drops       *uint64
+	cur         queuedFrame // the frame occupying the transmitter
+	serialized  func()      // prebound onSerialized
+	freeFlights []*flight
+}
+
+func newTransmitter(k *sim.Kernel, cfg *Config, deliver func(from *NIC, f Frame), drops *uint64) *transmitter {
+	t := &transmitter{k: k, cfg: cfg, deliver: deliver, drops: drops}
+	t.serialized = t.onSerialized
+	return t
+}
+
+// flight is one frame crossing the medium: serialization has finished and
+// the propagation delay is running.
+type flight struct {
+	t    *transmitter
+	from *NIC
+	f    Frame
+	fire func() // prebound run
+}
+
+func (t *transmitter) getFlight(from *NIC, f Frame) *flight {
+	var fl *flight
+	if n := len(t.freeFlights); n > 0 {
+		fl = t.freeFlights[n-1]
+		t.freeFlights[n-1] = nil
+		t.freeFlights = t.freeFlights[:n-1]
+	} else {
+		fl = &flight{t: t}
+		fl.fire = fl.run
+	}
+	fl.from, fl.f = from, f
+	return fl
+}
+
+func (fl *flight) run() {
+	t, from, f := fl.t, fl.from, fl.f
+	fl.from, fl.f = nil, Frame{}
+	t.freeFlights = append(t.freeFlights, fl)
+	t.deliver(from, f)
 }
 
 type queuedFrame struct {
@@ -207,6 +289,7 @@ func (t *transmitter) enqueue(from *NIC, f Frame) {
 			if from.onTxDrop != nil {
 				from.onTxDrop(f.Payload)
 			}
+			f.Release()
 		}
 		return
 	}
@@ -215,22 +298,27 @@ func (t *transmitter) enqueue(from *NIC, f Frame) {
 
 func (t *transmitter) start(from *NIC, f Frame) {
 	t.busy = true
-	st := t.cfg.serializeTime(len(f.Payload))
-	t.k.After(st, func() {
-		t.busy = false
-		// Propagation begins when serialization ends.
-		d := t.cfg.Delay
-		if t.cfg.Jitter > 0 {
-			d += sim.Duration(t.k.Rand().Int63n(int64(t.cfg.Jitter)))
+	t.cur = queuedFrame{from, f}
+	t.k.After(t.cfg.serializeTime(len(f.Payload)), t.serialized)
+}
+
+// onSerialized runs when the current frame finishes serializing:
+// propagation begins, and the next queued frame takes the transmitter.
+func (t *transmitter) onSerialized() {
+	qf := t.cur
+	t.cur = queuedFrame{}
+	t.busy = false
+	d := t.cfg.Delay
+	if t.cfg.Jitter > 0 {
+		d += sim.Duration(t.k.Rand().Int63n(int64(t.cfg.Jitter)))
+	}
+	fl := t.getFlight(qf.from, qf.f)
+	t.k.After(d, fl.fire)
+	if t.qdisc != nil {
+		if next, ok := t.qdisc.Dequeue(); ok {
+			t.start(next.from, next.f)
 		}
-		fr, frame := from, f
-		t.k.After(d, func() { t.deliver(fr, frame) })
-		if t.qdisc != nil {
-			if next, ok := t.qdisc.Dequeue(); ok {
-				t.start(next.from, next.f)
-			}
-		}
-	})
+	}
 }
 
 // QueueLen returns the number of frames waiting at the transmitter serving

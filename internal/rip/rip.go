@@ -83,12 +83,14 @@ type Router struct {
 	cfg  Config
 	k    *sim.Kernel
 
-	routes    map[ipv4.Prefix]*route
-	stats     Stats
-	started   bool
-	trigTimer *sim.Timer
-	tick      *sim.Timer
-	ifFilter  func(*stack.Interface) bool
+	routes     map[ipv4.Prefix]*route
+	stats      Stats
+	started    bool
+	trigTimer  sim.Timer
+	tick       sim.Timer
+	periodicFn func() // prebound periodic, reused every interval
+	trigFn     func() // prebound triggered-update callback
+	ifFilter   func(*stack.Interface) bool
 }
 
 // SetInterfaceFilter restricts the protocol to interfaces for which fn
@@ -114,6 +116,8 @@ func New(n *stack.Node, t *udp.Transport, cfg Config) (*Router, error) {
 		k:      n.Kernel(),
 		routes: make(map[ipv4.Prefix]*route),
 	}
+	r.periodicFn = r.periodic
+	r.trigFn = r.fireTriggered
 	sock, err := t.Listen(Port, r.input)
 	if err != nil {
 		return nil, fmt.Errorf("rip: %w", err)
@@ -143,18 +147,14 @@ func (r *Router) Start() {
 		}
 	}
 	jitter := sim.Duration(r.k.Rand().Int63n(int64(r.cfg.UpdateInterval)/2 + 1))
-	r.tick = r.k.After(jitter, r.periodic)
+	r.tick = r.k.After(jitter, r.periodicFn)
 }
 
 // Stop cancels the periodic cycle (the socket stays bound).
 func (r *Router) Stop() {
 	r.started = false
-	if r.tick != nil {
-		r.tick.Stop()
-	}
-	if r.trigTimer != nil {
-		r.trigTimer.Stop()
-	}
+	r.tick.Stop()
+	r.trigTimer.Stop()
 }
 
 func (r *Router) periodic() {
@@ -163,7 +163,7 @@ func (r *Router) periodic() {
 	}
 	r.expireRoutes()
 	r.sendUpdates(false)
-	r.tick = r.k.After(r.cfg.UpdateInterval, r.periodic)
+	r.tick = r.k.After(r.cfg.UpdateInterval, r.periodicFn)
 }
 
 // expireRoutes times out stale learned routes and garbage-collects dead
@@ -221,20 +221,22 @@ func (r *Router) routeChanged(rt *route) {
 }
 
 func (r *Router) scheduleTriggered() {
-	if !r.started || (r.trigTimer != nil && r.trigTimer.Pending()) {
+	if !r.started || r.trigTimer.Pending() {
 		return
 	}
 	delay := sim.Duration(1)
 	if r.cfg.TriggeredDelay > 0 {
 		delay = sim.Duration(r.k.Rand().Int63n(int64(r.cfg.TriggeredDelay)) + 1)
 	}
-	r.trigTimer = r.k.After(delay, func() {
-		if !r.started {
-			return
-		}
-		r.stats.TriggeredUpdates++
-		r.sendUpdates(true)
-	})
+	r.trigTimer = r.k.After(delay, r.trigFn)
+}
+
+func (r *Router) fireTriggered() {
+	if !r.started {
+		return
+	}
+	r.stats.TriggeredUpdates++
+	r.sendUpdates(true)
 }
 
 // wire format: 1 byte version, 1 byte count, then count entries of

@@ -8,10 +8,16 @@
 // 1988 paper ran on: the simulated substrate exercises the same protocol
 // code paths (loss, reordering, fragmentation, failure) under a clock we
 // control.
+//
+// The scheduler is allocation-free in steady state: events live in
+// slab-allocated chunks and are recycled through a free list when they
+// fire or are stopped, and the pending set is a hand-rolled indexed
+// min-heap so cancellation is O(log n) without container/heap's boxing.
+// Timer handles are values carrying a generation number, so a stale
+// handle to a recycled event is inert rather than dangerous.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -39,52 +45,30 @@ func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
 
 // event is a scheduled callback. seq breaks ties so that events scheduled
 // for the same instant run in scheduling order (FIFO), which keeps the
-// simulation deterministic.
+// simulation deterministic. gen increments every time the event slot is
+// recycled, invalidating Timer handles from earlier uses of the slot.
 type event struct {
 	at    Time
 	seq   uint64
+	gen   uint64
 	fn    func()
-	index int // heap index; -1 once removed
+	index int32 // heap index; -1 once removed
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
+// eventSlabSize is how many event slots one slab allocation provides.
+const eventSlabSize = 256
 
 // Kernel is the discrete-event scheduler. It is not safe for concurrent
 // use: the entire simulation runs on the caller's goroutine, which is what
 // makes it deterministic.
 type Kernel struct {
 	now    Time
-	events eventHeap
+	heap   []*event
+	free   []*event
 	seq    uint64
 	rng    *rand.Rand
 	halted bool
+	values map[any]any
 }
 
 // NewKernel returns a kernel whose random source is seeded with seed.
@@ -102,50 +86,199 @@ func (k *Kernel) Now() Time { return k.now }
 // from here, never from the global rand, so that runs are reproducible.
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
+// Value returns the per-kernel singleton stored under key, or nil. It
+// exists so higher layers can share one instance of a resource (e.g. the
+// packet buffer pool) across every component driven by this kernel
+// without resorting to package globals, which would leak state between
+// the isolated kernels a parallel campaign runs.
+func (k *Kernel) Value(key any) any {
+	if k.values == nil {
+		return nil
+	}
+	return k.values[key]
+}
+
+// SetValue stores a per-kernel singleton under key. Keys should be
+// unexported zero-size types owned by the storing package, exactly as
+// with context values.
+func (k *Kernel) SetValue(key, v any) {
+	if k.values == nil {
+		k.values = make(map[any]any)
+	}
+	k.values[key] = v
+}
+
+// --- event slab and free list ------------------------------------------------
+
+// alloc returns a recycled event slot, growing a fresh slab when the free
+// list is empty. Slots keep their generation number across reuse.
+func (k *Kernel) alloc() *event {
+	if n := len(k.free); n > 0 {
+		e := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return e
+	}
+	slab := make([]event, eventSlabSize)
+	for i := 1; i < eventSlabSize; i++ {
+		k.free = append(k.free, &slab[i])
+	}
+	return &slab[0]
+}
+
+// release recycles an event slot: the generation bump invalidates every
+// Timer handle issued for the slot's previous life.
+func (k *Kernel) release(e *event) {
+	e.fn = nil
+	e.index = -1
+	e.gen++
+	k.free = append(k.free, e)
+}
+
+// --- indexed min-heap --------------------------------------------------------
+
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (k *Kernel) heapPush(e *event) {
+	e.index = int32(len(k.heap))
+	k.heap = append(k.heap, e)
+	k.siftUp(int(e.index))
+}
+
+// heapPopRoot removes and returns the earliest event.
+func (k *Kernel) heapPopRoot() *event {
+	e := k.heap[0]
+	last := len(k.heap) - 1
+	k.heap[0] = k.heap[last]
+	k.heap[0].index = 0
+	k.heap[last] = nil
+	k.heap = k.heap[:last]
+	if last > 0 {
+		k.siftDown(0)
+	}
+	e.index = -1
+	return e
+}
+
+// heapRemove unlinks an event from an arbitrary heap position.
+func (k *Kernel) heapRemove(e *event) {
+	i := int(e.index)
+	last := len(k.heap) - 1
+	if i != last {
+		k.heap[i] = k.heap[last]
+		k.heap[i].index = int32(i)
+	}
+	k.heap[last] = nil
+	k.heap = k.heap[:last]
+	if i != last {
+		k.siftDown(i)
+		k.siftUp(i)
+	}
+	e.index = -1
+}
+
+func (k *Kernel) siftUp(i int) {
+	e := k.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(e, k.heap[parent]) {
+			break
+		}
+		k.heap[i] = k.heap[parent]
+		k.heap[i].index = int32(i)
+		i = parent
+	}
+	k.heap[i] = e
+	e.index = int32(i)
+}
+
+func (k *Kernel) siftDown(i int) {
+	e := k.heap[i]
+	n := len(k.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && eventLess(k.heap[right], k.heap[left]) {
+			child = right
+		}
+		if !eventLess(k.heap[child], e) {
+			break
+		}
+		k.heap[i] = k.heap[child]
+		k.heap[i].index = int32(i)
+		i = child
+	}
+	k.heap[i] = e
+	e.index = int32(i)
+}
+
+// --- timers ------------------------------------------------------------------
+
 // Timer is a handle to a scheduled event that can be stopped before it
-// fires.
+// fires. It is a plain value: the zero Timer is inert, copies are
+// interchangeable, and a handle left over from an event that already
+// fired (and whose slot has been recycled) safely does nothing.
 type Timer struct {
-	k *Kernel
-	e *event
+	k   *Kernel
+	e   *event
+	gen uint64
+}
+
+// live reports whether the handle still refers to its original event and
+// that event is queued.
+func (t *Timer) live() bool {
+	return t.e != nil && t.e.gen == t.gen && t.e.index >= 0
 }
 
 // Stop cancels the timer. It reports whether the timer was still pending.
 // Stopping an already-fired or already-stopped timer is a no-op.
 func (t *Timer) Stop() bool {
-	if t == nil || t.e == nil || t.e.index < 0 {
+	if t == nil || !t.live() {
 		return false
 	}
-	heap.Remove(&t.k.events, t.e.index)
-	t.e.fn = nil
+	e := t.e
 	t.e = nil
+	t.k.heapRemove(e)
+	t.k.release(e)
 	return true
 }
 
 // Pending reports whether the timer has yet to fire or be stopped.
-func (t *Timer) Pending() bool { return t != nil && t.e != nil && t.e.index >= 0 }
+func (t *Timer) Pending() bool { return t != nil && t.live() }
 
 // At schedules fn to run at instant at. Scheduling in the past (or at the
 // present instant) runs the event at the current time but after all events
 // already scheduled for that time.
-func (k *Kernel) At(at Time, fn func()) *Timer {
+func (k *Kernel) At(at Time, fn func()) Timer {
 	if at < k.now {
 		at = k.now
 	}
-	e := &event{at: at, seq: k.seq, fn: fn}
+	e := k.alloc()
+	e.at = at
+	e.seq = k.seq
+	e.fn = fn
 	k.seq++
-	heap.Push(&k.events, e)
-	return &Timer{k: k, e: e}
+	k.heapPush(e)
+	return Timer{k: k, e: e, gen: e.gen}
 }
 
 // After schedules fn to run d from now.
-func (k *Kernel) After(d Duration, fn func()) *Timer {
+func (k *Kernel) After(d Duration, fn func()) Timer {
 	return k.At(k.now.Add(d), fn)
 }
 
 // Defer schedules fn to run at the current instant, after all events
 // already queued for this instant. It is the simulation analogue of
 // "process this on the next trip through the event loop".
-func (k *Kernel) Defer(fn func()) *Timer { return k.At(k.now, fn) }
+func (k *Kernel) Defer(fn func()) Timer { return k.At(k.now, fn) }
 
 // Halt stops Run and RunUntil at the next event boundary. Pending events
 // remain queued.
@@ -154,14 +287,15 @@ func (k *Kernel) Halt() { k.halted = true }
 // Step executes the single earliest pending event, advancing the clock to
 // its instant. It reports whether an event was executed.
 func (k *Kernel) Step() bool {
-	for len(k.events) > 0 {
-		e := heap.Pop(&k.events).(*event)
-		if e.fn == nil { // cancelled but not yet removed (defensive)
+	for len(k.heap) > 0 {
+		e := k.heapPopRoot()
+		fn := e.fn
+		at := e.at
+		k.release(e)
+		if fn == nil { // cancelled but not yet removed (defensive)
 			continue
 		}
-		k.now = e.at
-		fn := e.fn
-		e.fn = nil
+		k.now = at
 		fn()
 		return true
 	}
@@ -183,7 +317,7 @@ func (k *Kernel) Run() Time {
 func (k *Kernel) RunUntil(deadline Time) Time {
 	k.halted = false
 	for !k.halted {
-		if len(k.events) == 0 || k.events[0].at > deadline {
+		if len(k.heap) == 0 || k.heap[0].at > deadline {
 			break
 		}
 		k.Step()
@@ -199,4 +333,4 @@ func (k *Kernel) RunFor(d Duration) Time { return k.RunUntil(k.now.Add(d)) }
 
 // PendingEvents returns the number of events waiting in the queue. It is
 // intended for tests and diagnostics.
-func (k *Kernel) PendingEvents() int { return len(k.events) }
+func (k *Kernel) PendingEvents() int { return len(k.heap) }

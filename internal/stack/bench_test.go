@@ -1,0 +1,156 @@
+package stack
+
+import (
+	"testing"
+
+	"darpanet/internal/ipv4"
+	"darpanet/internal/phys"
+	"darpanet/internal/sim"
+)
+
+// benchTopo builds h1 -- gw -- h2 over infinitely fast, zero-delay links
+// so the benchmark measures stack cost, not simulated transmission time.
+// A raw protocol handler on h2 counts deliveries.
+func benchTopo() (*sim.Kernel, *Node, *Node, *uint64) {
+	k := sim.NewKernel(1)
+	l1 := phys.NewP2P(k, "l1", phys.Config{MTU: 1500})
+	l2 := phys.NewP2P(k, "l2", phys.Config{MTU: 1500})
+
+	h1 := NewNode(k, "h1")
+	gw := NewNode(k, "gw")
+	gw.Forwarding = true
+	h2 := NewNode(k, "h2")
+
+	net1 := ipv4.MustParsePrefix("10.0.1.0/24")
+	net2 := ipv4.MustParsePrefix("10.0.2.0/24")
+	i1 := h1.AttachInterface(l1, net1.Host(1), net1)
+	g1 := gw.AttachInterface(l1, net1.Host(254), net1)
+	g2 := gw.AttachInterface(l2, net2.Host(254), net2)
+	i2 := h2.AttachInterface(l2, net2.Host(1), net2)
+	i1.AddNeighbor(g1.Addr, g1.NIC.Addr())
+	g1.AddNeighbor(i1.Addr, i1.NIC.Addr())
+	g2.AddNeighbor(i2.Addr, i2.NIC.Addr())
+	i2.AddNeighbor(g2.Addr, g2.NIC.Addr())
+	h1.Table.Add(Route{Prefix: ipv4.MustParsePrefix("0.0.0.0/0"), Via: g1.Addr, IfIndex: 0, Source: SourceStatic})
+	h2.Table.Add(Route{Prefix: ipv4.MustParsePrefix("0.0.0.0/0"), Via: g2.Addr, IfIndex: 0, Source: SourceStatic})
+
+	var delivered uint64
+	h2.RegisterProtocol(200, func(h ipv4.Header, p []byte) { delivered++ })
+	return k, h1, h2, &delivered
+}
+
+// BenchmarkForwardHotPath measures the full send -> forward -> deliver
+// path across a gateway: serialize at h1, transmit, relay in place at gw,
+// deliver and release at h2. The benchguard baseline pins this at
+// 0 allocs/op — the tentpole property of the pooled datagram path.
+func BenchmarkForwardHotPath(b *testing.B) {
+	k, h1, h2, delivered := benchTopo()
+	payload := make([]byte, 512)
+	hdr := ipv4.Header{Dst: h2.Addr(), Proto: 200}
+
+	// Warm the pool, event slabs, qdiscs and flight free lists.
+	for i := 0; i < 64; i++ {
+		if err := h1.Send(hdr, payload); err != nil {
+			b.Fatal(err)
+		}
+		k.Run()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h1.Send(hdr, payload)
+		k.Run()
+	}
+	b.StopTimer()
+	if *delivered != uint64(64+b.N) {
+		b.Fatalf("delivered %d of %d", *delivered, 64+b.N)
+	}
+}
+
+// TestForwardHotPathZeroAlloc enforces the benchmark's claim in a plain
+// test so `go test` alone catches a regression, not only the bench gate.
+func TestForwardHotPathZeroAlloc(t *testing.T) {
+	k, h1, h2, delivered := benchTopo()
+	payload := make([]byte, 512)
+	hdr := ipv4.Header{Dst: h2.Addr(), Proto: 200}
+	for i := 0; i < 64; i++ {
+		if err := h1.Send(hdr, payload); err != nil {
+			t.Fatal(err)
+		}
+		k.Run()
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		h1.Send(hdr, payload)
+		k.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("forwarding hot path allocates %.1f objects per datagram, want 0", avg)
+	}
+	if *delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+// BenchmarkSingleHopSend measures origination + local delivery without a
+// gateway in between (two hosts, one link).
+func BenchmarkSingleHopSend(b *testing.B) {
+	k := sim.NewKernel(1)
+	l := phys.NewP2P(k, "l", phys.Config{MTU: 1500})
+	net := ipv4.MustParsePrefix("10.0.1.0/24")
+	h1 := NewNode(k, "h1")
+	h2 := NewNode(k, "h2")
+	i1 := h1.AttachInterface(l, net.Host(1), net)
+	i2 := h2.AttachInterface(l, net.Host(2), net)
+	i1.AddNeighbor(i2.Addr, i2.NIC.Addr())
+	i2.AddNeighbor(i1.Addr, i1.NIC.Addr())
+	var delivered uint64
+	h2.RegisterProtocol(200, func(h ipv4.Header, p []byte) { delivered++ })
+	payload := make([]byte, 512)
+	hdr := ipv4.Header{Dst: i2.Addr, Proto: 200}
+	for i := 0; i < 64; i++ {
+		h1.Send(hdr, payload)
+		k.Run()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h1.Send(hdr, payload)
+		k.Run()
+	}
+	b.StopTimer()
+	if delivered != uint64(64+b.N) {
+		b.Fatalf("delivered %d of %d", delivered, 64+b.N)
+	}
+}
+
+// TestPoolRecyclesForwardBuffers pins the mechanism, not just the absence
+// of allocation: after warmup every datagram is served from the free list.
+func TestPoolRecyclesForwardBuffers(t *testing.T) {
+	k, h1, h2, _ := benchTopo()
+	pool := PoolFor(k)
+	payload := make([]byte, 512)
+	hdr := ipv4.Header{Dst: h2.Addr(), Proto: 200}
+	for i := 0; i < 16; i++ {
+		h1.Send(hdr, payload)
+		k.Run()
+	}
+	before := pool.Stats()
+	for i := 0; i < 100; i++ {
+		h1.Send(hdr, payload)
+		k.Run()
+	}
+	after := pool.Stats()
+	if misses := after.Misses - before.Misses; misses != 0 {
+		t.Fatalf("steady state had %d pool misses, want 0", misses)
+	}
+	// Free-list invariant: every buffer returned (and not discarded) is
+	// either on a free list or handed out again.
+	if got, want := uint64(pool.Free()), after.Puts-after.Discards-after.Hits; got != want {
+		t.Fatalf("free-list accounting off: free=%d, puts-discards-hits=%d", got, want)
+	}
+	// With the kernel drained, no buffer is in flight: every buffer drawn
+	// came back.
+	if after.Gets != after.Puts || after.Puts == 0 {
+		t.Fatalf("buffers in flight after drain: gets=%d puts=%d", after.Gets, after.Puts)
+	}
+}

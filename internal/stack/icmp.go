@@ -149,7 +149,7 @@ func (n *Node) Ping(dst ipv4.Addr, count int, interval sim.Duration, reply func(
 	n.pingID++
 	id := n.pingID
 	n.pings[id] = reply
-	var timers []*sim.Timer
+	var timers []sim.Timer
 	for i := 0; i < count; i++ {
 		seq := uint16(i)
 		t := n.kernel.After(sim.Duration(i)*interval, func() {

@@ -80,6 +80,8 @@ type Node struct {
 	ipID     uint16
 	stats    Stats
 	acct     *FlowAccounting
+	pool     *packet.Pool
+	txBuf    packet.Buffer // reusable serialization buffer (output is never reentrant)
 
 	icmpErr []func(icmp IcmpError)
 	pings   map[uint16]func(seq uint16, rtt sim.Duration)
@@ -102,7 +104,9 @@ func NewNode(k *sim.Kernel, name string) *Node {
 		handlers: make(map[uint8]ProtocolHandler),
 		reasm:    ipv4.NewReassembler(k, 0),
 		pings:    make(map[uint16]func(uint16, sim.Duration)),
+		pool:     PoolFor(k),
 	}
+	n.reasm.SetPool(n.pool)
 	n.handlers[ipv4.ProtoICMP] = n.icmpInput
 	n.Table.SetUsableFilter(func(r Route) bool {
 		ifc := n.Interface(r.IfIndex)
@@ -148,6 +152,7 @@ func (n *Node) AttachInterface(m phys.Medium, addr ipv4.Addr, prefix ipv4.Prefix
 		Prefix:    prefix,
 		neighbors: make(map[ipv4.Addr]phys.Addr),
 	}
+	nic.SetPool(n.pool)
 	nic.SetReceiver(func(f phys.Frame) { n.inputFrame(ifc, f) })
 	n.ifaces = append(n.ifaces, ifc)
 	n.Table.Add(Route{Prefix: prefix, IfIndex: idx, Metric: 0, Source: SourceDirect})
@@ -184,7 +189,9 @@ func (n *Node) HasAddr(a ipv4.Addr) bool {
 }
 
 // RegisterProtocol directs reassembled datagrams with the given IP
-// protocol number to fn. Registering nil removes the handler.
+// protocol number to fn. Registering nil removes the handler. The
+// payload passed to fn is a view into a pooled receive buffer that is
+// recycled when fn returns: handlers that keep the bytes must copy.
 func (n *Node) RegisterProtocol(proto uint8, fn ProtocolHandler) {
 	if fn == nil {
 		delete(n.handlers, proto)
@@ -287,30 +294,47 @@ func (n *Node) output(ifc *Interface, nexthop ipv4.Addr, h ipv4.Header, payload 
 		return ErrIfaceDown
 	}
 	mtu := ifc.NIC.MTU()
+	link := ifc.linkAddr(nexthop)
+	if ipv4.HeaderLen+len(payload) <= mtu {
+		// Fast path: the datagram fits in one frame, so skip Fragment
+		// (and its per-call header/payload slices) entirely.
+		return n.sendDatagram(ifc, link, h, payload)
+	}
 	hs, ps, err := ipv4.Fragment(h, payload, mtu)
 	if err != nil {
 		n.stats.FragFails++
 		return err
 	}
-	if len(hs) > 1 {
-		n.stats.FragCreated += uint64(len(hs))
-	}
-	link := ifc.linkAddr(nexthop)
+	n.stats.FragCreated += uint64(len(hs))
 	for i := range hs {
-		b := packet.NewBuffer(ipv4.HeaderLen, ps[i])
-		if err := hs[i].Marshal(b); err != nil {
+		if err := n.sendDatagram(ifc, link, hs[i], ps[i]); err != nil {
 			return err
 		}
-		n.acct.record(hs[i], b.Len())
-		if n.tap != nil {
-			n.tap(true, ifc.NIC.Name(), b.Bytes())
-		}
-		ifc.NIC.Send(link, b.Bytes())
 	}
 	return nil
 }
 
-// inputFrame is the NIC receive path: parse, deliver or forward.
+// sendDatagram serializes one already-fragment-sized datagram into the
+// node's pooled buffer and transmits it; the NIC takes ownership of the
+// wire image.
+func (n *Node) sendDatagram(ifc *Interface, link phys.Addr, h ipv4.Header, payload []byte) error {
+	b := &n.txBuf
+	b.Reset(n.pool, ipv4.HeaderLen, payload)
+	if err := h.Marshal(b); err != nil {
+		b.Release()
+		return err
+	}
+	n.acct.record(h, b.Len())
+	if n.tap != nil {
+		n.tap(true, ifc.NIC.Name(), b.Bytes())
+	}
+	ifc.NIC.Send(link, b.Bytes())
+	return nil
+}
+
+// inputFrame is the NIC receive path: parse, deliver or forward. The node
+// owns the frame: every path below either transfers it onward (forwarding
+// reuses the frame's storage as the outgoing wire image) or releases it.
 func (n *Node) inputFrame(ifc *Interface, f phys.Frame) {
 	n.stats.InReceives++
 	if n.tap != nil {
@@ -320,45 +344,60 @@ func (n *Node) inputFrame(ifc *Interface, f phys.Frame) {
 	if err != nil {
 		n.stats.InHdrErrors++
 		n.tracef("drop malformed: %v", err)
+		f.Release()
 		return
 	}
 	local := n.HasAddr(h.Dst) || h.Dst == ipv4.Broadcast || h.Dst == ifc.Prefix.Host(int(1<<(32-ifc.Prefix.Bits))-1)
 	if local {
 		n.deliver(h, payload)
+		f.Release()
 		return
 	}
 	if !n.Forwarding {
 		n.stats.NotForwarder++
+		f.Release()
 		return
 	}
-	n.forward(ifc, f.Payload, h, payload)
+	n.forward(ifc, f, h, payload)
 }
 
-// deliver reassembles and hands the datagram to its protocol.
+// deliver reassembles and hands the datagram to its protocol. Handlers
+// must not retain data past their return: it aliases either the arriving
+// frame (released by inputFrame) or a pool-backed reassembly buffer
+// (released here).
 func (n *Node) deliver(h ipv4.Header, payload []byte) {
 	full, data, done := n.reasm.Add(h, payload)
 	if !done {
 		return
 	}
+	reassembled := h.MF || h.FragOff > 0
 	fn, ok := n.handlers[full.Proto]
 	if !ok {
 		n.stats.NoProto++
 		n.sendICMPUnreachable(full, data, icmp_CodeProtoUnreachable)
-		return
+	} else {
+		n.stats.InDelivers++
+		n.acct.record(full, full.TotalLen)
+		fn(full, data)
 	}
-	n.stats.InDelivers++
-	n.acct.record(full, full.TotalLen)
-	fn(full, data)
+	if reassembled {
+		n.pool.Put(data)
+	}
 }
 
 // forward relays a transit datagram: decrement TTL, re-route, refragment
-// if the new link is narrower.
-func (n *Node) forward(in *Interface, raw []byte, h ipv4.Header, payload []byte) {
+// if the new link is narrower. It owns frame f; the fast path below
+// retransmits the received wire image in place — the whole point of the
+// pooled hot path: a transit datagram crosses the gateway with zero
+// copies and zero allocations.
+func (n *Node) forward(in *Interface, f phys.Frame, h ipv4.Header, payload []byte) {
+	raw := f.Payload
 	rt, ok := n.Table.Lookup(h.Dst)
 	if !ok {
 		n.stats.NoRoute++
 		n.tracef("no route to %s", h.Dst)
 		n.sendICMPError(h, payload, icmp_TypeDestUnreachable, icmp_CodeNetUnreachable)
+		f.Release()
 		return
 	}
 	out := n.ifaces[rt.IfIndex]
@@ -366,6 +405,7 @@ func (n *Node) forward(in *Interface, raw []byte, h ipv4.Header, payload []byte)
 		n.stats.TTLDrops++
 		n.tracef("ttl exceeded for %s", h.Dst)
 		n.sendICMPError(h, payload, icmp_TypeTimeExceeded, icmp_CodeTTLExceeded)
+		f.Release()
 		return
 	}
 	h.TTL--
@@ -378,11 +418,13 @@ func (n *Node) forward(in *Interface, raw []byte, h ipv4.Header, payload []byte)
 	if len(raw) <= out.NIC.MTU() {
 		if !out.NIC.Up() {
 			n.stats.IfaceDown++
+			f.Release()
 			return
 		}
 		if n.tap != nil {
 			n.tap(true, out.NIC.Name(), raw)
 		}
+		// Ownership of the frame storage transfers to the outgoing NIC.
 		out.NIC.Send(out.linkAddr(nexthop), raw)
 		return
 	}
@@ -391,22 +433,27 @@ func (n *Node) forward(in *Interface, raw []byte, h ipv4.Header, payload []byte)
 	if err != nil {
 		n.stats.FragFails++
 		n.sendICMPError(h, payload, icmp_TypeDestUnreachable, icmp_CodeFragNeeded)
+		f.Release()
 		return
 	}
 	n.stats.FragCreated += uint64(len(hs))
 	if !out.NIC.Up() {
 		n.stats.IfaceDown++
+		f.Release()
 		return
 	}
 	link := out.linkAddr(nexthop)
 	for i := range hs {
-		b := packet.NewBuffer(ipv4.HeaderLen, ps[i])
+		b := &n.txBuf
+		b.Reset(n.pool, ipv4.HeaderLen, ps[i])
 		if err := hs[i].Marshal(b); err != nil {
-			return
+			b.Release()
+			break
 		}
 		if n.tap != nil {
 			n.tap(true, out.NIC.Name(), b.Bytes())
 		}
 		out.NIC.Send(link, b.Bytes())
 	}
+	f.Release()
 }

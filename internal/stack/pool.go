@@ -1,0 +1,25 @@
+package stack
+
+import (
+	"darpanet/internal/packet"
+	"darpanet/internal/sim"
+)
+
+// poolKey is the kernel-value key under which the shared buffer pool
+// lives (see sim.Kernel.Value).
+type poolKey struct{}
+
+// PoolFor returns the packet buffer pool shared by every node driven by
+// kernel k, creating it on first use. One pool per kernel keeps the
+// forwarding hot path allocation-free end to end — a buffer a sender
+// draws returns to the same pool when the far host releases it — while
+// preserving the no-globals rule: parallel campaign replicas each have
+// their own kernel and therefore their own pool, sharing nothing.
+func PoolFor(k *sim.Kernel) *packet.Pool {
+	if p, ok := k.Value(poolKey{}).(*packet.Pool); ok {
+		return p
+	}
+	p := packet.NewPool()
+	k.SetValue(poolKey{}, p)
+	return p
+}

@@ -85,7 +85,9 @@ func TestFragmentationEnRoute(t *testing.T) {
 	k, h1, gw, h2 := lineTopo(t, 1500, 296)
 	var got []byte
 	const proto = 200
-	h2.RegisterProtocol(proto, func(h ipv4.Header, payload []byte) { got = payload })
+	h2.RegisterProtocol(proto, func(h ipv4.Header, payload []byte) {
+		got = append(got[:0], payload...) // payload is pooled; copy to retain
+	})
 	payload := make([]byte, 1200)
 	for i := range payload {
 		payload[i] = byte(i * 3)

@@ -44,7 +44,7 @@ type trWalk struct {
 	probeIP  uint16 // IP ID of the in-flight probe
 	ttl      int
 	sentAt   sim.Time
-	timer    *sim.Timer
+	timer    sim.Timer
 	finished bool
 	silent   int
 }

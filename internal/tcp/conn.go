@@ -53,7 +53,7 @@ type Conn struct {
 	srtt        sim.Duration
 	rttvar      sim.Duration
 	backoff     int
-	rexmitTimer *sim.Timer
+	rexmitTimer sim.Timer
 	rttPending  bool
 	rttSeq      uint32
 	rttStart    sim.Time
@@ -66,17 +66,25 @@ type Conn struct {
 	inFastRecovery bool
 
 	// Delayed ACK.
-	delackTimer *sim.Timer
+	delackTimer sim.Timer
 	ackPending  int // in-order segments since last ACK
 
 	// Zero-window persistence.
-	persistTimer *sim.Timer
+	persistTimer sim.Timer
 	persistIval  sim.Duration
 
 	// TIME-WAIT / connection teardown.
-	timeWaitTimer *sim.Timer
+	timeWaitTimer sim.Timer
 	closeErr      error
 	closeFired    bool
+
+	// Timer callbacks, bound once at connection creation so re-arming a
+	// timer schedules a prebound func instead of allocating a closure.
+	rexmitFn     func()
+	persistFn    func()
+	delackFn     func()
+	timeWaitFn   func()
+	writeSpaceFn func()
 
 	// Callbacks.
 	onEstablished func()
@@ -115,6 +123,11 @@ func newConn(t *Transport, local, remote Endpoint, opts Options) *Conn {
 		c.rto = opts.FixedRTO
 	}
 	c.cwnd = c.opts.MSS * 2
+	c.rexmitFn = c.rexmitTimeout
+	c.persistFn = c.persistFire
+	c.delackFn = c.delackFire
+	c.timeWaitFn = c.timeWaitExpired
+	c.writeSpaceFn = c.fireWriteSpace
 	return c
 }
 
@@ -504,8 +517,7 @@ func (c *Conn) processAck(seg *segment) {
 			c.armRexmit() // restart for remaining flight
 		}
 		if c.onWriteSpace != nil && c.WriteSpace() > 0 {
-			fn := c.onWriteSpace
-			c.k.Defer(func() { fn() })
+			c.k.Defer(c.writeSpaceFn)
 		}
 	} else if ack == c.sndUna && len(seg.payload) == 0 && !seg.syn() && !seg.fin() &&
 		int(seg.wnd) == c.sndWnd && c.sndNxt != c.sndUna {
@@ -762,14 +774,22 @@ func (c *Conn) enterTimeWait() {
 	c.cancelRexmit()
 	c.cancelPersist()
 	c.cancelDelack()
-	if c.timeWaitTimer != nil {
-		c.timeWaitTimer.Stop()
-	}
+	c.timeWaitTimer.Stop()
 	c.fireClose(nil)
-	c.timeWaitTimer = c.k.After(c.opts.TimeWaitDuration, func() {
-		c.setState(StateClosed)
-		c.t.remove(c)
-	})
+	c.timeWaitTimer = c.k.After(c.opts.TimeWaitDuration, c.timeWaitFn)
+}
+
+func (c *Conn) timeWaitExpired() {
+	c.setState(StateClosed)
+	c.t.remove(c)
+}
+
+// fireWriteSpace is the deferred write-space notification; it rechecks at
+// fire time since the buffer may have refilled meanwhile.
+func (c *Conn) fireWriteSpace() {
+	if c.onWriteSpace != nil && c.WriteSpace() > 0 {
+		c.onWriteSpace()
+	}
 }
 
 // teardown closes immediately with the given reason (nil for clean).
@@ -781,9 +801,7 @@ func (c *Conn) teardown(err error) {
 	c.cancelRexmit()
 	c.cancelPersist()
 	c.cancelDelack()
-	if c.timeWaitTimer != nil {
-		c.timeWaitTimer.Stop()
-	}
+	c.timeWaitTimer.Stop()
 	c.t.remove(c)
 	c.fireClose(err)
 }

@@ -176,13 +176,14 @@ func (c *Conn) sendData(seq uint32, payload []byte, retrans bool) {
 	}
 }
 
-// transmit hands one segment to IP.
+// transmit hands one segment to IP, serializing through the transport's
+// shared scratch buffer (Send copies the wire image before returning).
 func (c *Conn) transmit(s *segment) {
 	c.stats.SegsSent++
 	c.t.node.Send(ipv4.Header{
 		Src: c.local.Addr, Dst: c.remote.Addr,
 		Proto: ipv4.ProtoTCP, TOS: c.tos(),
-	}, s.marshal(c.local.Addr, c.remote.Addr))
+	}, s.marshalInto(&c.t.txScratch, c.local.Addr, c.remote.Addr))
 }
 
 func (c *Conn) tos() uint8 {
@@ -222,22 +223,18 @@ func (c *Conn) currentRTO() sim.Duration {
 }
 
 func (c *Conn) armRexmit() {
-	if c.rexmitTimer != nil {
-		c.rexmitTimer.Stop()
-	}
-	c.rexmitTimer = c.k.After(c.currentRTO(), c.rexmitTimeout)
+	c.rexmitTimer.Stop()
+	c.rexmitTimer = c.k.After(c.currentRTO(), c.rexmitFn)
 }
 
 func (c *Conn) armRexmitIfIdle() {
-	if c.rexmitTimer == nil || !c.rexmitTimer.Pending() {
+	if !c.rexmitTimer.Pending() {
 		c.armRexmit()
 	}
 }
 
 func (c *Conn) cancelRexmit() {
-	if c.rexmitTimer != nil {
-		c.rexmitTimer.Stop()
-	}
+	c.rexmitTimer.Stop()
 }
 
 func (c *Conn) rexmitTimeout() {
@@ -324,19 +321,17 @@ func (c *Conn) retransmitOldest(fast bool) {
 // --- zero-window persistence --------------------------------------------------
 
 func (c *Conn) armPersist() {
-	if c.persistTimer != nil && c.persistTimer.Pending() {
+	if c.persistTimer.Pending() {
 		return
 	}
 	if c.persistIval == 0 {
 		c.persistIval = sim.Duration(persistMin)
 	}
-	c.persistTimer = c.k.After(c.persistIval, c.persistFire)
+	c.persistTimer = c.k.After(c.persistIval, c.persistFn)
 }
 
 func (c *Conn) cancelPersist() {
-	if c.persistTimer != nil {
-		c.persistTimer.Stop()
-	}
+	c.persistTimer.Stop()
 	c.persistIval = 0
 	// Window opened: push out what was waiting.
 	c.output()
@@ -376,24 +371,24 @@ func (c *Conn) persistFire() {
 	if c.persistIval > sim.Duration(persistMax) {
 		c.persistIval = sim.Duration(persistMax)
 	}
-	c.persistTimer = c.k.After(c.persistIval, c.persistFire)
+	c.persistTimer = c.k.After(c.persistIval, c.persistFn)
 }
 
 // --- delayed ACK ---------------------------------------------------------------
 
 func (c *Conn) armDelack() {
-	if c.delackTimer != nil && c.delackTimer.Pending() {
+	if c.delackTimer.Pending() {
 		return
 	}
-	c.delackTimer = c.k.After(sim.Duration(delayedAckTime), func() {
-		if c.ackPending > 0 {
-			c.sendACK()
-		}
-	})
+	c.delackTimer = c.k.After(sim.Duration(delayedAckTime), c.delackFn)
+}
+
+func (c *Conn) delackFire() {
+	if c.ackPending > 0 {
+		c.sendACK()
+	}
 }
 
 func (c *Conn) cancelDelack() {
-	if c.delackTimer != nil {
-		c.delackTimer.Stop()
-	}
+	c.delackTimer.Stop()
 }

@@ -26,6 +26,11 @@ type Transport struct {
 	segsIn    uint64
 	segsBad   uint64
 	rstsSent  uint64
+
+	// txScratch is the shared segment-serialization buffer: Send copies
+	// the wire image synchronously, so one scratch serves every
+	// connection without allocating per segment.
+	txScratch []byte
 }
 
 // New attaches a TCP transport to node n, registering IP protocol 6.
@@ -201,7 +206,7 @@ func (t *Transport) sendRST(local, remote Endpoint, seg *segment) {
 		rst.ack = seg.seq + uint32(seg.segLen())
 	}
 	t.node.Send(ipv4.Header{Src: local.Addr, Dst: remote.Addr, Proto: ipv4.ProtoTCP},
-		rst.marshal(local.Addr, remote.Addr))
+		rst.marshalInto(&t.txScratch, local.Addr, remote.Addr))
 }
 
 // remove unlinks a defunct connection.

@@ -99,15 +99,32 @@ func (s *segment) String() string {
 		s.srcPort, s.dstPort, s.flagString(), s.seq, s.ack, s.wnd, len(s.payload))
 }
 
-// marshal serializes the segment, computing the checksum over the
-// pseudo-header for src->dst.
+// marshal serializes the segment into fresh storage, computing the
+// checksum over the pseudo-header for src->dst.
 func (s *segment) marshal(src, dst ipv4.Addr) []byte {
+	var scratch []byte
+	return s.marshalInto(&scratch, src, dst)
+}
+
+// marshalInto serializes the segment into scratch, growing it as needed
+// and reusing its capacity across calls. The returned slice aliases
+// scratch and is only valid until the next call — safe here because the
+// IP layer copies the wire image into its own buffer before returning
+// from Send, so the transport serializes every segment through one
+// scratch without allocating.
+func (s *segment) marshalInto(scratch *[]byte, src, dst ipv4.Addr) []byte {
 	optLen := 0
 	if s.mss != 0 {
 		optLen = 4
 	}
-	b := packet.NewBuffer(HeaderLen+optLen, s.payload)
-	hdr := b.Prepend(HeaderLen + optLen)
+	total := HeaderLen + optLen + len(s.payload)
+	b := *scratch
+	if cap(b) < total {
+		b = make([]byte, total)
+		*scratch = b
+	}
+	b = b[:total]
+	hdr := b
 	binary.BigEndian.PutUint16(hdr[0:], s.srcPort)
 	binary.BigEndian.PutUint16(hdr[2:], s.dstPort)
 	binary.BigEndian.PutUint32(hdr[4:], s.seq)
@@ -115,15 +132,18 @@ func (s *segment) marshal(src, dst ipv4.Addr) []byte {
 	hdr[12] = uint8((HeaderLen + optLen) / 4 << 4)
 	hdr[13] = s.flags
 	binary.BigEndian.PutUint16(hdr[14:], s.wnd)
+	binary.BigEndian.PutUint16(hdr[16:], 0) // checksum, filled below
+	binary.BigEndian.PutUint16(hdr[18:], 0) // urgent pointer
 	if s.mss != 0 {
 		hdr[20] = 2 // kind: MSS
 		hdr[21] = 4 // length
 		binary.BigEndian.PutUint16(hdr[22:], s.mss)
 	}
-	sum := pseudoSum(src, dst, uint16(b.Len()))
-	sum = packet.PartialChecksum(sum, b.Bytes())
+	copy(b[HeaderLen+optLen:], s.payload)
+	sum := pseudoSum(src, dst, uint16(total))
+	sum = packet.PartialChecksum(sum, b)
 	binary.BigEndian.PutUint16(hdr[16:], packet.FinishChecksum(sum))
-	return b.Bytes()
+	return b
 }
 
 var errBadSegment = errors.New("tcp: malformed segment")

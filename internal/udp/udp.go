@@ -27,7 +27,9 @@ type Endpoint struct {
 func (e Endpoint) String() string { return fmt.Sprintf("%s:%d", e.Addr, e.Port) }
 
 // Handler receives one datagram's payload along with its source endpoint
-// and the IP header it arrived in.
+// and the IP header it arrived in. data is a view into a pooled receive
+// buffer that is recycled when the handler returns: handlers that keep
+// the bytes must copy them out.
 type Handler func(from Endpoint, data []byte, h ipv4.Header)
 
 // Stats counts per-transport UDP activity.
@@ -45,6 +47,11 @@ type Transport struct {
 	socks     map[uint16]*Socket
 	ephemeral uint16
 	stats     Stats
+
+	// txScratch is the shared serialization buffer: the IP layer copies
+	// the wire image synchronously in Send, so one scratch serves every
+	// socket without allocating per datagram.
+	txScratch []byte
 }
 
 // New attaches a UDP transport to node n.
@@ -152,17 +159,26 @@ func (s *Socket) SendToVia(ifc *stack.Interface, dst Endpoint, data []byte) erro
 	return s.t.node.SendVia(ifc, dst.Addr, h, payload)
 }
 
-// buildDatagram serializes the UDP header + data and returns the IP header
-// to send it with.
+// buildDatagram serializes the UDP header + data into the transport's
+// scratch buffer (valid until the next build — Send copies it) and returns
+// the IP header to send it with.
 func (s *Socket) buildDatagram(dst Endpoint, data []byte, src ipv4.Addr) (ipv4.Header, []byte, error) {
 	if HeaderLen+len(data) > 0xffff {
 		return ipv4.Header{}, nil, errors.New("udp: datagram too long")
 	}
-	b := packet.NewBuffer(HeaderLen+ipv4.HeaderLen, data)
-	hdr := b.Prepend(HeaderLen)
+	total := HeaderLen + len(data)
+	b := s.t.txScratch
+	if cap(b) < total {
+		b = make([]byte, total)
+		s.t.txScratch = b
+	}
+	b = b[:total]
+	hdr := b
 	binary.BigEndian.PutUint16(hdr[0:], s.port)
 	binary.BigEndian.PutUint16(hdr[2:], dst.Port)
-	binary.BigEndian.PutUint16(hdr[4:], uint16(HeaderLen+len(data)))
+	binary.BigEndian.PutUint16(hdr[4:], uint16(total))
+	binary.BigEndian.PutUint16(hdr[6:], 0) // checksum, filled below
+	copy(b[HeaderLen:], data)
 	// Checksum over pseudo-header + header + data. The pseudo-header
 	// source must match what the IP layer will use; resolve it the same
 	// way.
@@ -175,14 +191,14 @@ func (s *Socket) buildDatagram(dst Endpoint, data []byte, src ipv4.Addr) (ipv4.H
 		}
 		h.Src = srcAddr
 	}
-	sum := pseudoSum(srcAddr, dst.Addr, uint16(HeaderLen+len(data)))
-	sum = packet.PartialChecksum(sum, b.Bytes())
+	sum := pseudoSum(srcAddr, dst.Addr, uint16(total))
+	sum = packet.PartialChecksum(sum, b)
 	ck := packet.FinishChecksum(sum)
 	if ck == 0 {
 		ck = 0xffff // transmitted zero means "no checksum"
 	}
 	binary.BigEndian.PutUint16(hdr[6:], ck)
-	return h, b.Bytes(), nil
+	return h, b, nil
 }
 
 // SendBroadcast transmits data to the limited broadcast address on the

@@ -30,7 +30,7 @@ func TestSendReceive(t *testing.T) {
 	var got []byte
 	var from Endpoint
 	sb, err := tb.Listen(9000, func(f Endpoint, data []byte, h ipv4.Header) {
-		from, got = f, data
+		from, got = f, append(got[:0], data...) // data is pooled; copy to retain
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -146,7 +146,9 @@ func TestInputValidation(t *testing.T) {
 func TestLargeDatagramFragmented(t *testing.T) {
 	k, ta, tb := pair(t)
 	var got []byte
-	tb.Listen(9000, func(_ Endpoint, data []byte, _ ipv4.Header) { got = data })
+	tb.Listen(9000, func(_ Endpoint, data []byte, _ ipv4.Header) {
+		got = append(got[:0], data...) // data is pooled; copy to retain
+	})
 	sa, _ := ta.Listen(0, nil)
 	payload := make([]byte, 4000) // > MTU 1500: IP fragments
 	for i := range payload {

@@ -53,7 +53,7 @@ type linkEnd struct {
 	sndUna  uint8    // oldest unacknowledged
 	pending [][]byte // unacked frames, pending[0] has seq sndUna
 	queue   [][]byte // not yet transmitted (window full)
-	timer   *sim.Timer
+	timer   sim.Timer
 	retries int
 	dead    bool
 
@@ -98,7 +98,7 @@ func (l *linkEnd) transmitNew(payload []byte) {
 }
 
 func (l *linkEnd) armTimer() {
-	if l.timer != nil && l.timer.Pending() {
+	if l.timer.Pending() {
 		return
 	}
 	l.timer = l.k.After(sim.Duration(arqRexmitTime), l.timeout)
@@ -160,7 +160,7 @@ func (l *linkEnd) processAck(ack uint8) {
 		l.sndUna++
 		l.retries = 0
 	}
-	if len(l.pending) == 0 && l.timer != nil {
+	if len(l.pending) == 0 {
 		l.timer.Stop()
 	} else if len(l.pending) > 0 {
 		l.armTimer()

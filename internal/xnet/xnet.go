@@ -147,7 +147,7 @@ type call struct {
 	m     message
 	dst   ipv4.Addr
 	tries int
-	timer *sim.Timer
+	timer sim.Timer
 	done  func(payload []byte, err error)
 }
 
@@ -246,5 +246,7 @@ func (c *Client) input(h ipv4.Header, data []byte) {
 		cl.done(nil, ErrRemote)
 		return
 	}
-	cl.done(m.payload, nil)
+	// m.payload is a transient view of a pooled buffer; completion
+	// callbacks routinely keep the response, so hand them a copy.
+	cl.done(append([]byte(nil), m.payload...), nil)
 }

@@ -1,11 +1,16 @@
 #!/usr/bin/env sh
-# Full verification gate: build, vet, and the test suite under the race
-# detector (the campaign harness in internal/harness is the one place
-# real concurrency exists — keep it honest).
+# Full verification gate, in the same order as .github/workflows/ci.yml:
+# build, vet, formatting, the test suite under the race detector (the
+# campaign harness in internal/harness is the one place real concurrency
+# exists — keep it honest), the pooldebug poisoning build, and the
+# allocation-regression gate over the datagram hot path.
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+test -z "$(gofmt -l .)"
 go test -race ./...
+go test -tags pooldebug ./...
+scripts/benchguard.sh

@@ -1,4 +1,4 @@
-// Command experiments runs the darpanet reproduction experiments (E1–E10,
+// Command experiments runs the darpanet reproduction experiments (E1–E11,
 // one per architectural claim of Clark's 1988 design-philosophy paper)
 // and prints their tables. See DESIGN.md for the experiment index and
 // EXPERIMENTS.md for recorded results.
@@ -9,22 +9,50 @@
 // never changes results, only wall time. -json exports the aggregated
 // campaign as machine-readable JSON.
 //
+// -faults overrides E11's failure schedule: a preset name (crash, flap,
+// mixed, partition), "random" (each replica seed draws its own
+// scenario), or the path of a schedule file in the internal/fault text
+// format.
+//
 // Usage:
 //
-//	experiments [-seed N] [-only E1,E5] [-runs N] [-parallel N] [-json file]
+//	experiments [-seed N] [-only E1,E5] [-runs N] [-parallel N] [-json file] [-faults sched]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
 	"darpanet/internal/exp"
+	"darpanet/internal/fault"
 	"darpanet/internal/harness"
 )
+
+// resolveFaults maps the -faults value to an E11 driver: a preset name,
+// the "random" keyword, or a schedule file path.
+func resolveFaults(arg string) (func(seed int64) exp.Result, error) {
+	if arg == "random" {
+		return exp.RunE11Random, nil
+	}
+	if s, ok := fault.Preset(arg); ok {
+		return exp.RunE11With(s), nil
+	}
+	text, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, fmt.Errorf("-faults %q: not a preset (%s), 'random', or readable file: %v",
+			arg, strings.Join(fault.PresetNames(), ", "), err)
+	}
+	s, err := fault.Parse(filepath.Base(arg), string(text))
+	if err != nil {
+		return nil, err
+	}
+	return exp.RunE11With(s), nil
+}
 
 func main() {
 	seed := flag.Int64("seed", 1988, "base simulation seed (replica i runs on seed+i)")
@@ -32,7 +60,17 @@ func main() {
 	runs := flag.Int("runs", 1, "replicas per experiment (a Monte Carlo campaign when > 1)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "campaign worker-pool size (affects wall time only, never results)")
 	jsonOut := flag.String("json", "", "write aggregated campaign results to this file as JSON")
+	faults := flag.String("faults", "", "E11 fault schedule: a preset ("+strings.Join(fault.PresetNames(), ", ")+"), 'random', or a schedule file")
 	flag.Parse()
+
+	e11Run := exp.RunE11
+	if *faults != "" {
+		var err error
+		if e11Run, err = resolveFaults(*faults); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -49,6 +87,12 @@ func main() {
 	for _, e := range exp.All {
 		if len(want) > 0 && !want[e.ID] {
 			continue
+		}
+		if e.ID == "E11" {
+			e.Run = e11Run
+			if *faults != "" {
+				e.Title += " [-faults " + *faults + "]"
+			}
 		}
 		start := time.Now()
 		c := harness.Campaign{

@@ -365,19 +365,27 @@ func (nw *Network) netFor(p ipv4.Prefix) *netInfo {
 	return nil
 }
 
-// CrashNode takes every interface of the node down — the paper's gateway
-// failure. The node loses nothing it needs (it holds no conversation
-// state); the question survivability asks is whether everyone else copes.
+// CrashNode models abrupt node failure — the paper's gateway loss. The
+// routing process loses its RAM first (so the dying node does not poison
+// the survivors on its way down), then the IP layer tears down: every
+// interface goes dark, queued frames drop with their pooled buffers
+// released, partial reassemblies flush. The node holds no conversation
+// state (fate-sharing); the question survivability asks is whether
+// everyone else copes.
 func (nw *Network) CrashNode(name string) {
-	for _, ifc := range nw.mustNode(name).Interfaces() {
-		ifc.NIC.SetUp(false)
+	if r := nw.rips[name]; r != nil {
+		r.Crash()
 	}
+	nw.mustNode(name).Crash()
 }
 
-// RestoreNode brings a crashed node's interfaces back up.
+// RestoreNode reboots a crashed node: interfaces come back up and, if the
+// node ran RIP, the routing process restarts from scratch and
+// re-converges from its neighbors.
 func (nw *Network) RestoreNode(name string) {
-	for _, ifc := range nw.mustNode(name).Interfaces() {
-		ifc.NIC.SetUp(true)
+	nw.mustNode(name).Restart()
+	if r := nw.rips[name]; r != nil {
+		r.Start()
 	}
 }
 
@@ -419,6 +427,118 @@ func (nw *Network) AllPrefixes() []ipv4.Prefix {
 		return out[i].Bits < out[j].Bits
 	})
 	return out
+}
+
+// RIPNodes returns the names of RIP-enabled nodes in insertion order.
+func (nw *Network) RIPNodes() []string {
+	out := make([]string, 0, len(nw.rips))
+	for _, name := range nw.order {
+		if nw.rips[name] != nil {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// ReachablePrefixes returns the network prefixes the named node can
+// currently reach, honoring interface state and cut media — the central
+// oracle fault-injection campaigns measure routing reconvergence
+// against. A prefix counts as reachable when some path of up interfaces
+// across forwarding nodes and carrying media leads to it.
+func (nw *Network) ReachablePrefixes(name string) []ipv4.Prefix {
+	src := nw.mustNode(name)
+	seen := map[*stack.Node]bool{src: true}
+	queue := []*stack.Node{src}
+	prefixes := make(map[ipv4.Prefix]bool)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur != src && !cur.Forwarding {
+			continue
+		}
+		for _, ifc := range cur.Interfaces() {
+			if !ifc.NIC.Up() {
+				continue
+			}
+			ni := nw.netFor(ifc.Prefix)
+			if ni == nil || ni.medium.Down() {
+				continue
+			}
+			prefixes[ifc.Prefix] = true
+			for _, st := range ni.stations {
+				if seen[st.node] || !st.ifc.NIC.Up() {
+					continue
+				}
+				seen[st.node] = true
+				queue = append(queue, st.node)
+			}
+		}
+	}
+	out := make([]ipv4.Prefix, 0, len(prefixes))
+	for p := range prefixes {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr < out[j].Addr
+		}
+		return out[i].Bits < out[j].Bits
+	})
+	return out
+}
+
+// RouteWorks reports whether a datagram sent from the named node toward
+// network p would currently be delivered onto it: it follows routing
+// tables hop by hop — exactly as the forwarding plane would — requiring
+// an up egress interface, a carrying medium, and a live next hop at
+// every step. Unlike a bare metric check this rejects stale routes that
+// still point through a dead gateway, so fault-injection campaigns use
+// it (with ReachablePrefixes) as the reconvergence oracle.
+func (nw *Network) RouteWorks(name string, p ipv4.Prefix) bool {
+	cur := nw.mustNode(name)
+	dst := p.Host(1)
+	for hops := 0; hops < 64; hops++ {
+		if ifc, ok := directPrefix(cur, p); ok && ifc.NIC.Up() {
+			if ni := nw.netFor(p); ni != nil && !ni.medium.Down() {
+				return true
+			}
+		}
+		if cur.Name() != name && !cur.Forwarding {
+			return false
+		}
+		rt, ok := cur.Table.Lookup(dst)
+		if !ok || rt.Via.IsZero() {
+			return false
+		}
+		out := cur.Interface(rt.IfIndex)
+		if out == nil || !out.NIC.Up() {
+			return false
+		}
+		ni := nw.netFor(out.Prefix)
+		if ni == nil || ni.medium.Down() {
+			return false
+		}
+		next := nw.stationAt(ni, rt.Via)
+		if next == nil || next == cur {
+			return false
+		}
+		cur = next
+	}
+	return false // routing loop
+}
+
+// stationAt finds the node holding addr on the net, or nil when no such
+// station exists or its interface there is down.
+func (nw *Network) stationAt(ni *netInfo, addr ipv4.Addr) *stack.Node {
+	for _, st := range ni.stations {
+		if st.ifc.Addr == addr {
+			if !st.ifc.NIC.Up() {
+				return nil
+			}
+			return st.node
+		}
+	}
+	return nil
 }
 
 // Converged reports whether every RIP-enabled node knows a live route to

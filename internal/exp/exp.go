@@ -87,6 +87,7 @@ var All = []Experiment{
 	{"E8", "Datagrams need no setup: first-byte latency vs circuit establishment", RunE8},
 	{"E9", "Byte-stream sequence space: repacketization on retransmit", RunE9},
 	{"E10", "Flow/congestion control: 1988 TCP with and without Van Jacobson", RunE10},
+	{"E11", "Recovery under scripted failure: fault injection, reconvergence, blackout loss", RunE11},
 }
 
 // ByID returns the experiment with the given ID.

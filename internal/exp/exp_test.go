@@ -12,8 +12,8 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	if len(All) != 10 {
-		t.Fatalf("experiments = %d, want 10", len(All))
+	if len(All) != 11 {
+		t.Fatalf("experiments = %d, want 11", len(All))
 	}
 	seen := map[string]bool{}
 	for _, e := range All {
@@ -184,5 +184,36 @@ func TestYesNoAndHelpers(t *testing.T) {
 	}
 	if msStr(-1) != "never" {
 		t.Fatal("msStr negative")
+	}
+}
+
+func TestE11Shape(t *testing.T) {
+	r := RunE11(1988)
+	get := func(name string) float64 {
+		v, ok := r.Metric(name)
+		if !ok {
+			t.Fatalf("metric %s missing", name)
+		}
+		return v
+	}
+	if got := get("events_injected"); got != 12 {
+		t.Fatalf("events_injected = %g, want 12 (mixed preset)", got)
+	}
+	if get("tcp_survived") != 1 {
+		t.Fatal("transfer did not survive the mixed schedule")
+	}
+	if got := get("tcp_delivered"); got < 4_000_000 {
+		t.Fatalf("tcp_delivered = %g, want >= 4MB", got)
+	}
+	if v := get("reconverge_mean_s"); v <= 0 || v > 30 {
+		t.Fatalf("reconverge_mean_s = %g, want (0, 30]", v)
+	}
+	if get("blackout_lost_frames") == 0 {
+		t.Fatal("no frames lost across blackout windows — loss accounting broken")
+	}
+	// Most events recover before the next one fires; only the fast flap
+	// cuts are legitimately superseded.
+	if got := get("events_reconverged"); got < 8 {
+		t.Fatalf("events_reconverged = %g, want >= 8", got)
 	}
 }

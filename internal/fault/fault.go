@@ -1,0 +1,320 @@
+package fault
+
+import (
+	"fmt"
+	"time"
+
+	"darpanet/internal/core"
+	"darpanet/internal/rip"
+	"darpanet/internal/sim"
+)
+
+// Event is one injected fault, as recorded in the injector's log, with
+// the recovery measurements attached to it.
+type Event struct {
+	At     sim.Time // when the step fired
+	Op     Op
+	Target string
+	Index  int
+	// Reconverged reports whether every running RIP router reached a
+	// live route to everything the oracle says it can reach, before the
+	// next event fired (or the run ended); ReconvergeAfter is how long
+	// that took.
+	Reconverged     bool
+	ReconvergeAfter sim.Duration
+	// LostInWindow counts frames swallowed during the blackout this
+	// event closed: set on Heal (frames the cut medium dropped) and on
+	// Restore (frames that died at the crashed node's interfaces).
+	LostInWindow uint64
+}
+
+// DefaultPollInterval is how often the injector re-checks routing
+// convergence while a recovery is being measured. Polling runs only
+// between an injected fault and the moment every router has
+// re-converged; an idle injector schedules nothing.
+const DefaultPollInterval = 50 * time.Millisecond
+
+// Injector drives a Schedule against a live network and measures
+// recovery. Create with New, then Arm before running the kernel.
+type Injector struct {
+	nw    *core.Network
+	k     *sim.Kernel
+	sched Schedule
+	poll  sim.Duration
+
+	log []Event
+
+	// Loss-accounting windows open between a fault and its recovery.
+	openCut   map[string]uint64 // net -> LostWhileDown at cut
+	openCrash map[string]uint64 // node -> down-drop counters at crash
+	baseLoss  map[string]float64
+	totalLost uint64
+
+	// Convergence watch: pending routers and the event being timed.
+	watchEvent int
+	watchFrom  sim.Time
+	pending    map[string]bool
+	pollArmed  bool
+	pollFn     func()
+
+	// Per-router reconvergence durations, one per watched event.
+	routerTimes map[string][]sim.Duration
+}
+
+// New creates an injector for network nw running schedule sched. The
+// schedule's offsets are relative to the moment Arm is called.
+func New(nw *core.Network, sched Schedule) *Injector {
+	in := &Injector{
+		nw:          nw,
+		k:           nw.Kernel(),
+		sched:       sched,
+		poll:        DefaultPollInterval,
+		openCut:     make(map[string]uint64),
+		openCrash:   make(map[string]uint64),
+		baseLoss:    make(map[string]float64),
+		pending:     make(map[string]bool),
+		routerTimes: make(map[string][]sim.Duration),
+		watchEvent:  -1,
+	}
+	in.pollFn = in.pollTick
+	return in
+}
+
+// SetPollInterval changes the convergence-check period.
+func (in *Injector) SetPollInterval(d sim.Duration) {
+	if d > 0 {
+		in.poll = d
+	}
+}
+
+// Schedule returns the schedule the injector runs.
+func (in *Injector) Schedule() Schedule { return in.sched }
+
+// Arm schedules every step of the schedule on the kernel, offsets
+// counted from now. All per-step closures are bound here, up front:
+// between faults the armed injector allocates nothing and schedules
+// nothing, preserving the zero-allocation datagram hot path.
+func (in *Injector) Arm() {
+	for i := range in.sched.Steps {
+		st := in.sched.Steps[i]
+		in.k.After(st.At, func() { in.apply(st) })
+	}
+}
+
+// apply fires one step: inject the fault, log the event, and (re)start
+// the convergence watch.
+func (in *Injector) apply(st Step) {
+	ev := Event{At: in.k.Now(), Op: st.Op, Target: st.Target, Index: st.Index}
+	switch st.Op {
+	case OpCut:
+		m := in.nw.Medium(st.Target)
+		if !m.Down() {
+			in.openCut[st.Target] = m.LostWhileDown()
+			m.SetDown(true)
+		}
+	case OpHeal:
+		m := in.nw.Medium(st.Target)
+		m.SetDown(false)
+		if snap, ok := in.openCut[st.Target]; ok {
+			ev.LostInWindow = m.LostWhileDown() - snap
+			in.totalLost += ev.LostInWindow
+			delete(in.openCut, st.Target)
+		}
+	case OpCrash:
+		if _, open := in.openCrash[st.Target]; !open {
+			in.openCrash[st.Target] = in.downDrops(st.Target)
+			in.nw.CrashNode(st.Target)
+		}
+	case OpRestore:
+		in.nw.RestoreNode(st.Target)
+		if snap, ok := in.openCrash[st.Target]; ok {
+			ev.LostInWindow = in.downDrops(st.Target) - snap
+			in.totalLost += ev.LostInWindow
+			delete(in.openCrash, st.Target)
+		}
+	case OpIfDown, OpIfUp:
+		ifc := in.nw.Node(st.Target).Interface(st.Index)
+		if ifc == nil {
+			panic(fmt.Sprintf("fault: %s has no interface %d", st.Target, st.Index))
+		}
+		ifc.NIC.SetUp(st.Op == OpIfUp)
+	case OpStormStart:
+		m := in.nw.Medium(st.Target)
+		if _, open := in.baseLoss[st.Target]; !open {
+			in.baseLoss[st.Target] = m.Loss()
+		}
+		m.SetLoss(st.Level)
+	case OpStormEnd:
+		if base, ok := in.baseLoss[st.Target]; ok {
+			in.nw.Medium(st.Target).SetLoss(base)
+			delete(in.baseLoss, st.Target)
+		}
+	}
+	in.log = append(in.log, ev)
+	in.startWatch(len(in.log) - 1)
+}
+
+// downDrops totals the frames that have died at the node's interfaces:
+// queued frames flushed or sent while down, plus arrivals at a down
+// interface.
+func (in *Injector) downDrops(node string) uint64 {
+	var total uint64
+	for _, ifc := range in.nw.Node(node).Interfaces() {
+		st := ifc.NIC.Stats()
+		total += st.TxDrops + st.RxDown
+	}
+	return total
+}
+
+// startWatch begins timing reconvergence for event evIdx. An event that
+// fires while a previous watch is still pending supersedes it: the
+// earlier event simply never records a reconvergence (counted by
+// Metrics as unreconverged).
+func (in *Injector) startWatch(evIdx int) {
+	in.watchEvent = evIdx
+	in.watchFrom = in.k.Now()
+	for name := range in.pending {
+		delete(in.pending, name)
+	}
+	for _, name := range in.nw.RIPNodes() {
+		if in.nw.RIP(name).Running() {
+			in.pending[name] = true
+		}
+	}
+	in.check()
+	if len(in.pending) > 0 && !in.pollArmed {
+		in.pollArmed = true
+		in.k.After(in.poll, in.pollFn)
+	}
+}
+
+// pollTick re-checks convergence and re-arms itself while any router is
+// still pending.
+func (in *Injector) pollTick() {
+	in.pollArmed = false
+	if len(in.pending) == 0 {
+		return
+	}
+	in.check()
+	if len(in.pending) > 0 {
+		in.pollArmed = true
+		in.k.After(in.poll, in.pollFn)
+	}
+}
+
+// check tests every pending router against the reachability oracle and
+// records reconvergence times.
+func (in *Injector) check() {
+	now := in.k.Now()
+	for _, name := range in.nw.RIPNodes() {
+		if !in.pending[name] {
+			continue
+		}
+		r := in.nw.RIP(name)
+		if !r.Running() {
+			// Crashed mid-watch; its reboot will be watched separately.
+			delete(in.pending, name)
+			continue
+		}
+		if in.converged(name, r) {
+			delete(in.pending, name)
+			in.routerTimes[name] = append(in.routerTimes[name], now.Sub(in.watchFrom))
+		}
+	}
+	if len(in.pending) == 0 && in.watchEvent >= 0 {
+		ev := &in.log[in.watchEvent]
+		ev.Reconverged = true
+		ev.ReconvergeAfter = now.Sub(in.watchFrom)
+		in.watchEvent = -1
+	}
+}
+
+// converged reports whether router name has genuinely recovered: its
+// RIP state holds a live route to everything the oracle says it can
+// reach, and each of those routes actually forwards — a stale entry
+// still pointing through a dead gateway keeps metric < Infinity until
+// the protocol notices, and must not count as reconverged.
+func (in *Injector) converged(name string, r *rip.Router) bool {
+	want := in.nw.ReachablePrefixes(name)
+	if !r.Converged(want) {
+		return false
+	}
+	for _, p := range want {
+		if !in.nw.RouteWorks(name, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Events returns the log of fired events with their measurements.
+func (in *Injector) Events() []Event {
+	out := make([]Event, len(in.log))
+	copy(out, in.log)
+	return out
+}
+
+// TotalLost returns the frames lost across every closed blackout
+// window so far.
+func (in *Injector) TotalLost() uint64 { return in.totalLost }
+
+// Metric is one named recovery measurement, shaped for exp.Result.
+type Metric struct {
+	Name  string
+	Unit  string
+	Value float64
+}
+
+// Metrics aggregates the recovery record into named metrics with a
+// deterministic order and fixed naming, so harness campaigns can
+// aggregate them across replicas:
+//
+//	events_injected        events fired
+//	events_reconverged     events after which full reconvergence was observed
+//	events_unreconverged   events superseded or still pending at the end
+//	reconverge_mean_s      mean time from event to full reconvergence
+//	reconverge_max_s       worst such time
+//	blackout_lost_frames   frames swallowed during closed blackout windows
+//	reconverge_<node>_mean_s   per-router mean reconvergence time
+func (in *Injector) Metrics() []Metric {
+	var ms []Metric
+	reconverged, unreconverged := 0, 0
+	var sum, maxd sim.Duration
+	for i := range in.log {
+		if in.log[i].Reconverged {
+			reconverged++
+			sum += in.log[i].ReconvergeAfter
+			if in.log[i].ReconvergeAfter > maxd {
+				maxd = in.log[i].ReconvergeAfter
+			}
+		} else {
+			unreconverged++
+		}
+	}
+	ms = append(ms,
+		Metric{"events_injected", "", float64(len(in.log))},
+		Metric{"events_reconverged", "", float64(reconverged)},
+		Metric{"events_unreconverged", "", float64(unreconverged)},
+	)
+	mean := 0.0
+	if reconverged > 0 {
+		mean = sum.Seconds() / float64(reconverged)
+	}
+	ms = append(ms,
+		Metric{"reconverge_mean_s", "s", mean},
+		Metric{"reconverge_max_s", "s", maxd.Seconds()},
+		Metric{"blackout_lost_frames", "frames", float64(in.totalLost)},
+	)
+	for _, name := range in.nw.RIPNodes() {
+		times := in.routerTimes[name]
+		m := 0.0
+		for _, d := range times {
+			m += d.Seconds()
+		}
+		if len(times) > 0 {
+			m /= float64(len(times))
+		}
+		ms = append(ms, Metric{"reconverge_" + name + "_mean_s", "s", m})
+	}
+	return ms
+}

@@ -1,0 +1,45 @@
+package harness_test
+
+import (
+	"bytes"
+	"testing"
+
+	"darpanet/internal/exp"
+	"darpanet/internal/harness"
+)
+
+// TestE11CampaignJSONByteIdentical is the fault campaign's acceptance
+// check: the aggregated JSON export is byte-for-byte identical at any
+// worker count, for both the scripted default schedule and the
+// per-seed random scenarios. Any divergence means the injector (or the
+// recovery it measures) depends on something other than the seed and
+// the schedule.
+func TestE11CampaignJSONByteIdentical(t *testing.T) {
+	const runs = 3
+	drivers := []struct {
+		name string
+		run  func(int64) exp.Result
+	}{
+		{"mixed", exp.RunE11},
+		{"random", exp.RunE11Random},
+	}
+	for _, d := range drivers {
+		var want []byte
+		for _, workers := range []int{1, 3} {
+			rep := harness.Campaign{Runs: runs, Parallel: workers, BaseSeed: 1988}.
+				RunFunc("E11", "recovery under scripted failure", d.run)
+			if len(rep.Failures) > 0 {
+				t.Fatalf("%s workers=%d: replica failures: %+v", d.name, workers, rep.Failures)
+			}
+			var buf bytes.Buffer
+			if err := harness.WriteJSON(&buf, 1988, runs, []*harness.Report{rep}); err != nil {
+				t.Fatal(err)
+			}
+			if want == nil {
+				want = append([]byte(nil), buf.Bytes()...)
+			} else if !bytes.Equal(want, buf.Bytes()) {
+				t.Fatalf("%s: campaign JSON diverged between worker counts", d.name)
+			}
+		}
+	}
+}

@@ -111,6 +111,21 @@ func (r *Reassembler) Stats() ReassemblerStats { return r.stats }
 // Pending returns the number of incomplete fragment groups held.
 func (r *Reassembler) Pending() int { return len(r.groups) }
 
+// Flush discards every incomplete fragment group immediately: pending
+// reassembly timers are cancelled and pooled fragment storage is
+// released. Used on node teardown so a crash strands neither timers nor
+// buffers.
+func (r *Reassembler) Flush() {
+	for key, g := range r.groups {
+		g.timer.Stop()
+		for _, p := range g.pieces {
+			r.pool.Put(p.data)
+		}
+		delete(r.groups, key)
+		r.stats.Timeouts++
+	}
+}
+
 // Add accepts one fragment. When the fragment completes its datagram, Add
 // returns the reassembled header (offsets cleared, total length of the
 // whole datagram) and full payload with done=true. Unfragmented datagrams

@@ -23,13 +23,14 @@ func clonePayload(pool *packet.Pool, p []byte) []byte {
 // 56 kb/s serial trunks the ARPANET was built from. Exactly two stations
 // may attach; each direction has its own transmitter and queue.
 type P2P struct {
-	k     *sim.Kernel
-	name  string
-	cfg   Config
-	ends  [2]*NIC
-	tx    [2]*transmitter
-	down  bool
-	Drops uint64 // frames dropped at full output queues
+	k        *sim.Kernel
+	name     string
+	cfg      Config
+	ends     [2]*NIC
+	tx       [2]*transmitter
+	down     bool
+	lostDown uint64
+	Drops    uint64 // frames dropped at full output queues
 }
 
 // NewP2P creates a point-to-point link with the given characteristics.
@@ -54,6 +55,18 @@ func (p *P2P) MTU() int { return p.cfg.MTU }
 // (false). Frames already in flight still arrive; frames transmitted while
 // down vanish, as on a cut wire.
 func (p *P2P) SetDown(down bool) { p.down = down }
+
+// Down reports whether the link is currently cut.
+func (p *P2P) Down() bool { return p.down }
+
+// Loss returns the link's independent per-frame loss probability.
+func (p *P2P) Loss() float64 { return p.cfg.Loss }
+
+// SetLoss changes the link's per-frame loss probability.
+func (p *P2P) SetLoss(l float64) { p.cfg.Loss = l }
+
+// LostWhileDown returns how many frames vanished because the link was cut.
+func (p *P2P) LostWhileDown() uint64 { return p.lostDown }
 
 // Attach connects a new interface to the link. It panics on a third
 // attachment: a point-to-point link has exactly two ends.
@@ -89,6 +102,7 @@ func (p *P2P) send(from *NIC, f Frame) {
 
 func (p *P2P) propagate(from *NIC, f Frame) {
 	if p.down {
+		p.lostDown++
 		f.Release()
 		return
 	}
@@ -122,6 +136,7 @@ type Bus struct {
 	tx       *transmitter
 	next     Addr
 	down     bool
+	lostDown uint64
 	Drops    uint64
 }
 
@@ -144,6 +159,18 @@ func (b *Bus) MTU() int { return b.cfg.MTU }
 // SetDown makes the LAN lose all frames (true) or carry them again (false).
 func (b *Bus) SetDown(down bool) { b.down = down }
 
+// Down reports whether the LAN is currently cut.
+func (b *Bus) Down() bool { return b.down }
+
+// Loss returns the LAN's independent per-frame loss probability.
+func (b *Bus) Loss() float64 { return b.cfg.Loss }
+
+// SetLoss changes the LAN's per-frame loss probability.
+func (b *Bus) SetLoss(l float64) { b.cfg.Loss = l }
+
+// LostWhileDown returns how many frames vanished because the LAN was cut.
+func (b *Bus) LostWhileDown() uint64 { return b.lostDown }
+
 // Attach connects a new station to the LAN.
 func (b *Bus) Attach(name string) *NIC {
 	n := &NIC{name: name, addr: b.next, medium: b, up: true}
@@ -156,6 +183,7 @@ func (b *Bus) send(from *NIC, f Frame) { b.tx.enqueue(from, f) }
 
 func (b *Bus) propagate(from *NIC, f Frame) {
 	if b.down {
+		b.lostDown++
 		f.Release()
 		return
 	}
@@ -238,6 +266,7 @@ func (r *Radio) lossNow() float64 {
 
 func (r *Radio) propagate(from *NIC, f Frame) {
 	if r.down {
+		r.lostDown++
 		f.Release()
 		return
 	}

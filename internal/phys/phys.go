@@ -65,6 +65,7 @@ type Stats struct {
 	RxFrames, RxBytes uint64
 	TxDrops           uint64 // dropped at the output queue
 	RxLost            uint64 // lost by the medium on the way in
+	RxDown            uint64 // arrived while the interface was down
 }
 
 // NIC is a network interface: the attachment point between a node's stack
@@ -77,6 +78,7 @@ type NIC struct {
 	up       bool
 	recv     func(Frame)
 	onTxDrop func(payload []byte)
+	onState  []func(up bool)
 	pool     *packet.Pool
 	stats    Stats
 }
@@ -112,8 +114,59 @@ func (n *NIC) Up() bool { return n.up }
 
 // SetUp raises or lowers the interface. A lowered interface neither sends
 // nor receives; lowering an interface is the fault-injection primitive used
-// by the survivability experiments.
-func (n *NIC) SetUp(up bool) { n.up = up }
+// by the survivability experiments. State transitions (and only real
+// transitions — a redundant SetUp is a no-op) are reported to every
+// watcher registered with OnStateChange, so routing protocols can react
+// to a loss of connectivity immediately instead of waiting for a timeout.
+func (n *NIC) SetUp(up bool) {
+	if n.up == up {
+		return
+	}
+	n.up = up
+	for _, fn := range n.onState {
+		fn(up)
+	}
+}
+
+// OnStateChange registers a watcher invoked after every administrative
+// up/down transition of the interface. Watchers run synchronously on the
+// simulation goroutine, in registration order.
+func (n *NIC) OnStateChange(fn func(up bool)) {
+	n.onState = append(n.onState, fn)
+}
+
+// FlushQueue drops every frame this interface has queued at its
+// transmitter but not yet begun serializing, releasing pooled payloads
+// and counting the drops. It is the teardown half of a node crash: a
+// dead gateway's queued frames die with it instead of leaking out of the
+// buffer pool. The frame occupying the transmitter (if any) is already
+// committed to the wire and is left to propagate. Returns the number of
+// frames dropped.
+func (n *NIC) FlushQueue() int {
+	t := n.transmitter()
+	if t == nil || t.qdisc == nil {
+		return 0
+	}
+	kept := make([]queuedFrame, 0, t.qdisc.Len())
+	dropped := 0
+	for {
+		qf, ok := t.qdisc.Dequeue()
+		if !ok {
+			break
+		}
+		if qf.from == n {
+			n.stats.TxDrops++
+			qf.f.Release()
+			dropped++
+			continue
+		}
+		kept = append(kept, qf)
+	}
+	for _, qf := range kept {
+		t.qdisc.Enqueue(qf)
+	}
+	return dropped
+}
 
 // SetReceiver registers the function invoked, on the simulation goroutine,
 // for each frame the medium delivers to this interface. The receiver takes
@@ -146,6 +199,9 @@ func (n *NIC) Send(dst Addr, payload []byte) {
 // deliver hands a frame up to the stack if the interface is up.
 func (n *NIC) deliver(f Frame) {
 	if !n.up || n.recv == nil {
+		if !n.up {
+			n.stats.RxDown++
+		}
 		f.Release()
 		return
 	}
@@ -167,6 +223,17 @@ type Medium interface {
 	// carrying traffic (false) — the "loss of networks" fault from the
 	// paper's survivability goal.
 	SetDown(down bool)
+	// Down reports whether the medium is currently cut.
+	Down() bool
+	// Loss returns the medium's current independent per-frame loss
+	// probability.
+	Loss() float64
+	// SetLoss changes the per-frame loss probability — the transient
+	// "loss storm" fault-injection primitive.
+	SetLoss(p float64)
+	// LostWhileDown returns how many frames the medium has swallowed
+	// because it was down, for blackout-loss accounting.
+	LostWhileDown() uint64
 
 	send(from *NIC, f Frame)
 }
@@ -321,22 +388,27 @@ func (t *transmitter) onSerialized() {
 	}
 }
 
-// QueueLen returns the number of frames waiting at the transmitter serving
-// this interface, for tests and congestion diagnostics.
-func (n *NIC) QueueLen() int {
-	var t *transmitter
+// transmitter returns the transmitter that serves this interface's
+// outgoing frames.
+func (n *NIC) transmitter() *transmitter {
 	switch m := n.medium.(type) {
 	case *P2P:
 		if m.ends[0] == n {
-			t = m.tx[0]
-		} else {
-			t = m.tx[1]
+			return m.tx[0]
 		}
+		return m.tx[1]
 	case *Bus:
-		t = m.tx
+		return m.tx
 	case *Radio:
-		t = m.Bus.tx
+		return m.Bus.tx
 	}
+	return nil
+}
+
+// QueueLen returns the number of frames waiting at the transmitter serving
+// this interface, for tests and congestion diagnostics.
+func (n *NIC) QueueLen() int {
+	t := n.transmitter()
 	if t == nil || t.qdisc == nil {
 		return 0
 	}

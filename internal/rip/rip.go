@@ -124,11 +124,16 @@ func New(n *stack.Node, t *udp.Transport, cfg Config) (*Router, error) {
 	}
 	sock.TTL = 1 // never routed off-link
 	r.sock = sock
+	n.OnLinkChange(r.linkChanged)
 	return r, nil
 }
 
 // Stats returns a copy of the protocol counters.
 func (r *Router) Stats() Stats { return r.stats }
+
+// Running reports whether the periodic update cycle is active (between
+// Start and Stop/Crash).
+func (r *Router) Running() bool { return r.started }
 
 // Start seeds the table with the node's direct networks and begins the
 // periodic update cycle. The first update is jittered so gateways do not
@@ -155,6 +160,50 @@ func (r *Router) Stop() {
 	r.started = false
 	r.tick.Stop()
 	r.trigTimer.Stop()
+}
+
+// Crash models the gateway losing its routing state outright: the cycle
+// stops and every learned route vanishes, as RAM does. A later Start
+// re-seeds from the direct networks and re-converges from scratch — the
+// paper's fate-sharing argument applied to the gateway itself: no
+// neighbor depended on this state surviving.
+func (r *Router) Crash() {
+	r.Stop()
+	for p := range r.routes {
+		r.node.Table.Remove(p, stack.SourceRIP)
+		delete(r.routes, p)
+	}
+}
+
+// linkChanged reacts to interface state transitions. On failure every
+// route using the interface — direct or learned — is marked unreachable
+// immediately and a triggered update poisons it to the neighbors, so
+// reconvergence is bounded by propagation delay rather than RouteTimeout.
+// On recovery the direct route revives; learned routes return with the
+// neighbors' next updates.
+func (r *Router) linkChanged(ifc *stack.Interface, up bool) {
+	if !r.started {
+		return
+	}
+	now := r.k.Now()
+	if up {
+		if rt, ok := r.routes[ifc.Prefix]; ok && rt.via.IsZero() && rt.metric >= Infinity {
+			rt.metric = 1
+			rt.garbage = false
+			rt.lastHeard = now
+			r.routeChanged(rt)
+		}
+		return
+	}
+	for _, rt := range r.routes {
+		if rt.ifIndex != ifc.Index || rt.metric >= Infinity {
+			continue
+		}
+		rt.metric = Infinity
+		rt.garbage = true
+		rt.gcAt = now.Add(r.cfg.GCTimeout)
+		r.routeChanged(rt)
+	}
 }
 
 func (r *Router) periodic() {

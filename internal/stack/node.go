@@ -89,6 +89,8 @@ type Node struct {
 
 	tracer func(string)
 	tap    PacketTap
+
+	linkWatchers []func(ifc *Interface, up bool)
 }
 
 // PacketTap observes every datagram crossing the node: send=true for
@@ -154,9 +156,46 @@ func (n *Node) AttachInterface(m phys.Medium, addr ipv4.Addr, prefix ipv4.Prefix
 	}
 	nic.SetPool(n.pool)
 	nic.SetReceiver(func(f phys.Frame) { n.inputFrame(ifc, f) })
+	nic.OnStateChange(func(up bool) {
+		for _, fn := range n.linkWatchers {
+			fn(ifc, up)
+		}
+	})
 	n.ifaces = append(n.ifaces, ifc)
 	n.Table.Add(Route{Prefix: prefix, IfIndex: idx, Metric: 0, Source: SourceDirect})
 	return ifc
+}
+
+// OnLinkChange registers fn to run whenever one of the node's interfaces
+// changes administrative state. Routing protocols use it to react to link
+// failure immediately instead of waiting for route timeouts.
+func (n *Node) OnLinkChange(fn func(ifc *Interface, up bool)) {
+	n.linkWatchers = append(n.linkWatchers, fn)
+}
+
+// Crash models abrupt gateway failure: every interface goes down, frames
+// the node still has queued at its transmitters are dropped with their
+// pooled storage released, and partially reassembled datagrams are
+// flushed. Protocol state above IP (routing tables, connections) is the
+// caller's to tear down — fate-sharing puts it with the endpoints, not
+// here.
+func (n *Node) Crash() {
+	for _, ifc := range n.ifaces {
+		ifc.NIC.SetUp(false)
+	}
+	for _, ifc := range n.ifaces {
+		ifc.NIC.FlushQueue()
+	}
+	n.reasm.Flush()
+}
+
+// Restart brings a crashed node's interfaces back up. IP-layer state
+// (routing table contents beyond direct routes, reassembly) starts
+// empty, as after a reboot.
+func (n *Node) Restart() {
+	for _, ifc := range n.ifaces {
+		ifc.NIC.SetUp(true)
+	}
 }
 
 // Interfaces returns the node's interfaces.

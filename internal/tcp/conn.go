@@ -53,6 +53,7 @@ type Conn struct {
 	srtt        sim.Duration
 	rttvar      sim.Duration
 	backoff     int
+	rtoRecover  uint32 // sndNxt at last timeout; backoff resets only past it
 	rexmitTimer sim.Timer
 	rttPending  bool
 	rttSeq      uint32
@@ -274,6 +275,7 @@ func (c *Conn) Abort() {
 func (c *Conn) startActiveOpen() {
 	c.iss = c.k.Rand().Uint32()
 	c.sndUna, c.sndNxt = c.iss, c.iss
+	c.rtoRecover = c.iss
 	c.setState(StateSynSent)
 	c.sendSYN(false)
 	c.armRexmit()
@@ -288,6 +290,7 @@ func (c *Conn) startPassiveOpen(syn *segment) {
 	}
 	c.iss = c.k.Rand().Uint32()
 	c.sndUna, c.sndNxt = c.iss, c.iss
+	c.rtoRecover = c.iss
 	c.sndWnd = int(syn.wnd)
 	c.sndWl1, c.sndWl2 = syn.seq, 0
 	c.setState(StateSynRcvd)
@@ -508,7 +511,20 @@ func (c *Conn) processAck(seg *segment) {
 		acked := int(ack - c.sndUna)
 		c.ackAdvance(ack)
 		c.rttSample(ack)
-		c.backoff = 0
+		// Backoff resets only once the whole flight outstanding at the
+		// last timeout is acknowledged: collapsing it on the first
+		// partial ACK — typical when a long blackout heals — re-arms the
+		// timer at base RTO and bursts retransmissions at the
+		// barely-healed link. Recovery of the rest of that flight rides
+		// the ACK clock instead: each partial ACK retransmits the next
+		// hole immediately, so keeping the timer backed off costs no
+		// throughput.
+		if seqGEQ(ack, c.rtoRecover) {
+			c.backoff = 0
+			c.rtoRecover = ack // keep in step; never a stale wrapped value
+		} else {
+			c.retransmitOldest(false)
+		}
 		c.dupAcks = 0
 		c.congestionOnAck(acked)
 		if c.sndUna == c.sndNxt {

@@ -248,6 +248,7 @@ func (c *Conn) rexmitTimeout() {
 		return
 	}
 	c.backoff++
+	c.rtoRecover = c.sndNxt
 	// Van Jacobson on timeout: collapse to one segment, halve the
 	// threshold.
 	if !c.opts.NoCongestionControl {

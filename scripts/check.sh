@@ -13,4 +13,10 @@ go vet ./...
 test -z "$(gofmt -l .)"
 go test -race ./...
 go test -tags pooldebug ./...
+# The crash/restart soak must pass with poisoned pooled buffers: a frame
+# leaked (or double-released) by gateway teardown dies loudly here.
+go test -tags pooldebug -count=1 -run 'TestCrashRestartSoak|TestPartitionHealTransferIntegrity' ./internal/fault/
+# E11 smoke: the fault-injection recovery experiment end to end through
+# the CLI, as a 2-replica campaign.
+go run ./cmd/experiments -only E11 -runs 2 -faults mixed > /dev/null
 scripts/benchguard.sh

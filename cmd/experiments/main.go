@@ -16,7 +16,7 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-only E1,E5] [-runs N] [-parallel N] [-json file] [-faults sched]
+//	experiments [-seed N] [-only E1,E5] [-runs N] [-parallel N] [-json file] [-faults sched] [-metrics]
 package main
 
 import (
@@ -31,6 +31,7 @@ import (
 	"darpanet/internal/exp"
 	"darpanet/internal/fault"
 	"darpanet/internal/harness"
+	"darpanet/internal/metrics"
 )
 
 // resolveFaults maps the -faults value to an E11 driver: a preset name,
@@ -60,6 +61,7 @@ func main() {
 	runs := flag.Int("runs", 1, "replicas per experiment (a Monte Carlo campaign when > 1)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "campaign worker-pool size (affects wall time only, never results)")
 	jsonOut := flag.String("json", "", "write aggregated campaign results to this file as JSON")
+	showMetrics := flag.Bool("metrics", false, "after each single-run table, dump the per-layer counter registry as a tree")
 	faults := flag.String("faults", "", "E11 fault schedule: a preset ("+strings.Join(fault.PresetNames(), ", ")+"), 'random', or a schedule file")
 	flag.Parse()
 
@@ -115,6 +117,9 @@ func main() {
 			// Single run: the classic table report.
 			if rep.First != nil {
 				fmt.Println(rep.First.String())
+				if *showMetrics {
+					fmt.Printf("counters (schema %s):\n%s\n", metrics.Schema, rep.First.Counters.Tree())
+				}
 			}
 		} else {
 			// Campaign: aggregate every metric as mean ± 95% CI.

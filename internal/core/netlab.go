@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"darpanet/internal/ipv4"
+	"darpanet/internal/metrics"
 	"darpanet/internal/phys"
 	"darpanet/internal/rip"
 	"darpanet/internal/sim"
@@ -401,7 +402,9 @@ func (nw *Network) EnablePriorityQueueing(name string, perBand int) {
 	n := nw.mustNode(name)
 	n.PriorityQueueing = true
 	for _, ifc := range n.Interfaces() {
-		ifc.NIC.SetQdisc(phys.NewPriority(8, perBand, classifyPrecedence))
+		q := phys.NewPriority(8, perBand, classifyPrecedence)
+		q.RegisterMetrics(metrics.For(nw.kernel), ifc.NIC.Name())
+		ifc.NIC.SetQdisc(q)
 	}
 }
 

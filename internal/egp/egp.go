@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"darpanet/internal/ipv4"
+	"darpanet/internal/metrics"
 	"darpanet/internal/sim"
 	"darpanet/internal/stack"
 	"darpanet/internal/udp"
@@ -106,6 +107,12 @@ func New(n *stack.Node, t *udp.Transport, as AS, cfg Config) (*Speaker, error) {
 		return nil, fmt.Errorf("egp: %w", err)
 	}
 	s.sock = sock
+	reg := metrics.For(s.k)
+	reg.Counter(n.Name(), "egp", "updates_sent", &s.stats.UpdatesSent)
+	reg.Counter(n.Name(), "egp", "updates_received", &s.stats.UpdatesReceived)
+	reg.Counter(n.Name(), "egp", "routes_accepted", &s.stats.RoutesAccepted)
+	reg.Counter(n.Name(), "egp", "loops_rejected", &s.stats.LoopsRejected)
+	reg.Counter(n.Name(), "egp", "peer_expiries", &s.stats.PeerExpiries)
 	return s, nil
 }
 

@@ -109,6 +109,7 @@ func runE11(seed int64, sched fault.Schedule) Result {
 	res.AddMetric("tcp_delivered", "B", float64(tr.Received))
 	res.AddMetric("tcp_max_stall", "s", tr.MaxStall.Seconds())
 	res.AddMetric("tcp_done_at", "s", tr.ElapsedToDone().Seconds())
+	res.AddCounters("", nw.Kernel())
 	res.Table = table
 	return res
 }

@@ -130,6 +130,7 @@ func RunE1(seed int64) Result {
 		res.AddMetric("dg_"+f.key+"_delivered", "B", float64(tr.Received))
 		res.AddMetric("dg_"+f.key+"_max_stall", "s", tr.MaxStall.Seconds())
 		res.AddMetric("dg_"+f.key+"_done_at", "s", tr.ElapsedToDone().Seconds())
+		res.AddCounters("dg_"+f.key, nw.Kernel())
 
 		// --- virtual-circuit architecture ------------------------------
 		// Same shape: the preferred path h1-s100-s110-s101-h2 has an
@@ -183,6 +184,7 @@ func RunE1(seed int64) Result {
 		)
 		res.AddMetric("vc_"+f.key+"_survived", "", bool01(vcSurvived))
 		res.AddMetric("vc_"+f.key+"_delivered", "B", float64(received))
+		res.AddCounters("vc_"+f.key, k2)
 	}
 
 	res.Table = table

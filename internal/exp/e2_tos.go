@@ -8,6 +8,7 @@ import (
 	"darpanet/internal/ipv4"
 	"darpanet/internal/nvp"
 	"darpanet/internal/phys"
+	"darpanet/internal/sim"
 	"darpanet/internal/stats"
 	"darpanet/internal/tcp"
 	"darpanet/internal/xnet"
@@ -15,6 +16,7 @@ import (
 
 // e2Result captures one service's metric under one queueing discipline.
 type e2Result struct {
+	k          *sim.Kernel // the run's kernel, for counter export
 	tcpGoodput float64
 	udpRTTms   float64
 	udpLossPct float64
@@ -90,6 +92,7 @@ func RunE2(seed int64) Result {
 		}
 		vs := recv.Stats()
 		return e2Result{
+			k:          nw.Kernel(),
 			tcpGoodput: stats.Throughput(uint64(tr.Received), tr.ElapsedToDoneOr(60*time.Second)),
 			udpRTTms:   udpRTT.Percentile(50),
 			udpLossPct: 100 * float64(qd.sent-qd.got) / float64(max(qd.sent, 1)),
@@ -139,6 +142,7 @@ func RunE2(seed int64) Result {
 		res.AddMetric(v.key+"_xnet_resent", "", float64(v.r.xnetResent))
 		res.AddMetric(v.key+"_voice_miss", "%", v.r.voiceMiss)
 		res.AddMetric(v.key+"_voice_delay", "ms", v.r.voiceDelay)
+		res.AddCounters(v.key, v.r.k)
 	}
 	return res
 }

@@ -59,6 +59,7 @@ func RunE3(seed int64) Result {
 		)
 		res.AddMetric("single_"+l.key+"_goodput", "b/s", goodput)
 		res.AddMetric("single_"+l.key+"_done", "", bool01(tr.Done))
+		res.AddCounters("single_"+l.key, nw.Kernel())
 	}
 
 	// The gauntlet: all four in one path, gateways between.
@@ -87,6 +88,7 @@ func RunE3(seed int64) Result {
 	res.AddMetric("gauntlet_goodput", "b/s", goodput)
 	res.AddMetric("gauntlet_frags", "", float64(frags))
 	res.AddMetric("gauntlet_done", "", bool01(tr.Done))
+	res.AddCounters("gauntlet", nw.Kernel())
 
 	res.Table = table
 	return res

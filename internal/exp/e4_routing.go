@@ -148,6 +148,8 @@ func RunE4(seed int64) Result {
 	res.AddMetric("crash_reconverge_time", "s", crashTime.Seconds())
 	res.AddMetric("crash_msgs", "", float64(crashMsgs))
 	res.AddMetric("static_linkcut_repaired", "", bool01(repaired))
+	res.AddCounters("dv", nw.Kernel())
+	res.AddCounters("static", nw2.Kernel())
 	return res
 }
 

@@ -63,6 +63,7 @@ func RunE5(seed int64) Result {
 			stats.Pct(wire-app, wire),
 		)
 		res.AddMetric(fmt.Sprintf("udp_overhead_%db", size), "%", 100*float64(wire-app)/float64(wire))
+		res.AddCounters(fmt.Sprintf("udp_%db", size), nw.Kernel())
 	}
 
 	// Part 2: TCP efficiency vs loss. Wire bytes at the gateway divided
@@ -92,6 +93,7 @@ func RunE5(seed int64) Result {
 		)
 		res.AddMetric(fmt.Sprintf("tcp_overhead_loss%d", int(loss*100)), "%", 100*float64(wire-app)/float64(wire))
 		res.AddMetric(fmt.Sprintf("tcp_delivered_loss%d", int(loss*100)), "B", float64(app))
+		res.AddCounters(fmt.Sprintf("tcp_loss%d", int(loss*100)), nw.Kernel())
 	}
 
 	res.Table = table

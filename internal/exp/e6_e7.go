@@ -6,6 +6,7 @@ import (
 
 	"darpanet/internal/core"
 	"darpanet/internal/phys"
+	"darpanet/internal/sim"
 	"darpanet/internal/stats"
 	"darpanet/internal/tcp"
 )
@@ -51,6 +52,7 @@ func RunE6(seed int64) Result {
 		victimRate  float64
 		partnerRetr string
 		drops       uint64
+		k           *sim.Kernel
 	}
 	run := func(partnerOpts tcp.Options, label string) row {
 		nw := build()
@@ -65,14 +67,15 @@ func RunE6(seed int64) Result {
 			victimRate:  stats.Throughput(uint64(vic.Received), vic.ElapsedToDoneOr(window)),
 			partnerRetr: retr,
 			drops:       link.Drops,
+			k:           nw.Kernel(),
 		}
 	}
 
-	alone := func() float64 {
+	alone, aloneK := func() (float64, *sim.Kernel) {
 		nw := build()
 		vic := StartBulkTCP(nw, "victim", "sink", 5001, nbytes, good)
 		nw.RunFor(window)
-		return stats.Throughput(uint64(vic.Received), vic.ElapsedToDoneOr(window))
+		return stats.Throughput(uint64(vic.Received), vic.ElapsedToDoneOr(window)), nw.Kernel()
 	}()
 
 	withGood := run(good, "well-behaved")
@@ -98,6 +101,9 @@ func RunE6(seed int64) Result {
 	res.AddMetric("victim_with_naive_goodput", "b/s", withNaive.victimRate)
 	res.AddMetric("good_partner_drops", "", float64(withGood.drops))
 	res.AddMetric("naive_partner_drops", "", float64(withNaive.drops))
+	res.AddCounters("alone", aloneK)
+	res.AddCounters("with_good", withGood.k)
+	res.AddCounters("with_naive", withNaive.k)
 	return res
 }
 
@@ -153,6 +159,7 @@ func RunE7(seed int64) Result {
 		table.AddRow(label, fmt.Sprint(flows), fmt.Sprint(total), stats.Pct(total-unattr, total))
 		res.AddMetric(fmt.Sprintf("attributed_limit%d", limit), "%", 100*float64(total-unattr)/float64(max64(total, 1)))
 		res.AddMetric(fmt.Sprintf("flows_limit%d", limit), "", float64(flows))
+		res.AddCounters(fmt.Sprintf("limit%d", limit), nw.Kernel())
 	}
 
 	res.Table = table

@@ -114,6 +114,8 @@ func RunE8(seed int64) Result {
 		res.AddMetric(fmt.Sprintf("udp_first_byte_%dhops", hops), "ms", msVal(udpLatency))
 		res.AddMetric(fmt.Sprintf("tcp_first_byte_%dhops", hops), "ms", msVal(tcpAt))
 		res.AddMetric(fmt.Sprintf("vc_first_byte_%dhops", hops), "ms", msVal(vcAt))
+		res.AddCounters(fmt.Sprintf("dg_%dhops", hops), nw.Kernel())
+		res.AddCounters(fmt.Sprintf("vc_%dhops", hops), k2)
 	}
 
 	res.Table = table
@@ -142,7 +144,7 @@ func msStr(d sim.Duration) string {
 // workload writes keystroke-sized chunks into a dead link, then lets
 // retransmission deliver them.
 func RunE9(seed int64) Result {
-	run := func(repacketize bool) (segs, retrans uint64, completed sim.Duration) {
+	run := func(repacketize bool) (segs, retrans uint64, completed sim.Duration, k *sim.Kernel) {
 		nw := core.New(seed)
 		cfg := phys.Config{BitsPerSec: 256_000, Delay: 10 * time.Millisecond, MTU: 1500, QueueLimit: 64}
 		nw.AddNet("n", "10.1.0.0/24", core.P2P, cfg)
@@ -182,11 +184,11 @@ func RunE9(seed int64) Result {
 			panic(fmt.Sprintf("e9: incomplete transfer: %d", received))
 		}
 		st := conn.Stats()
-		return st.SegsSent, st.Retransmits, doneAt.Sub(sim.Time(4 * time.Second))
+		return st.SegsSent, st.Retransmits, doneAt.Sub(sim.Time(4 * time.Second)), nw.Kernel()
 	}
 
-	withSegs, withRetr, withDone := run(true)
-	woSegs, woRetr, woDone := run(false)
+	withSegs, withRetr, withDone, withK := run(true)
+	woSegs, woRetr, woDone, woK := run(false)
 
 	table := stats.Table{Header: []string{
 		"retransmission policy", "segments sent", "retransmissions", "recovery time after link restore",
@@ -208,6 +210,8 @@ func RunE9(seed int64) Result {
 	res.AddMetric("orig_segs", "", float64(woSegs))
 	res.AddMetric("orig_retrans", "", float64(woRetr))
 	res.AddMetric("orig_recovery", "s", woDone.Seconds())
+	res.AddCounters("repack", withK)
+	res.AddCounters("orig", woK)
 	return res
 }
 
@@ -215,7 +219,7 @@ func RunE9(seed int64) Result {
 // and the same offered load, with congestion control (Van Jacobson, added
 // the year the paper appeared) on and off.
 func RunE10(seed int64) Result {
-	run := func(cc bool, senders int) (aggregate float64, retrRatio string, drops uint64) {
+	run := func(cc bool, senders int) (aggregate float64, retrRatio string, drops uint64, k *sim.Kernel) {
 		nw := core.New(seed)
 		lan := phys.Config{BitsPerSec: 10_000_000, Delay: time.Millisecond, MTU: 1500, QueueLimit: 128}
 		trunk := phys.Config{BitsPerSec: 512_000, Delay: 20 * time.Millisecond, MTU: 1500, QueueLimit: 16}
@@ -251,7 +255,7 @@ func RunE10(seed int64) Result {
 			}
 		}
 		link := nw.Medium("trunk").(*phys.P2P)
-		return stats.Throughput(recv, window), stats.Pct(retr, sent+retr), link.Drops
+		return stats.Throughput(recv, window), stats.Pct(retr, sent+retr), link.Drops, nw.Kernel()
 	}
 
 	table := stats.Table{Header: []string{
@@ -272,10 +276,11 @@ func RunE10(seed int64) Result {
 				label = "none (pre-1988)"
 				key = "nocc"
 			}
-			g, r, d := run(cc, senders)
+			g, r, d, k := run(cc, senders)
 			table.AddRow(fmt.Sprint(senders), label, stats.HumanRate(g), r, fmt.Sprint(d))
 			res.AddMetric(fmt.Sprintf("goodput_%dsenders_%s", senders, key), "b/s", g)
 			res.AddMetric(fmt.Sprintf("drops_%dsenders_%s", senders, key), "", float64(d))
+			res.AddCounters(fmt.Sprintf("%dsenders_%s", senders, key), k)
 		}
 	}
 

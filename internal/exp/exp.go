@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"strings"
 
+	"darpanet/internal/metrics"
+	"darpanet/internal/sim"
 	"darpanet/internal/stats"
 )
 
@@ -30,12 +32,34 @@ type Result struct {
 	Table   stats.Table
 	Notes   []string
 	Metrics []Metric
+	// Counters is the full per-layer registry snapshot of every kernel
+	// the driver ran, entries prefixed with the driver's scope name
+	// (see AddCounters). cmd/experiments -metrics renders it as a tree.
+	Counters metrics.Snapshot
 }
 
 // AddMetric appends one named scalar to the result. Drivers emit metrics
 // in a fixed order so replicas of the same experiment are comparable.
 func (r *Result) AddMetric(name, unit string, value float64) {
 	r.Metrics = append(r.Metrics, Metric{Name: name, Unit: unit, Value: value})
+}
+
+// AddCounters snapshots kernel k's metrics registry into the result:
+// every descriptor is appended to Counters (path prefixed with scope,
+// when non-empty, so one driver can export several networks) and
+// mirrored as a "ctr/<path>" metric. The mirror rides the ordinary
+// campaign aggregation, so every E1–E11 run and every harness campaign
+// exports the full per-layer counter set with no extra plumbing, and
+// determinism across worker counts comes for free — the snapshot is
+// sorted and the registry is per-kernel.
+func (r *Result) AddCounters(scope string, k *sim.Kernel) {
+	for _, e := range metrics.For(k).Snapshot() {
+		if scope != "" {
+			e.Path = scope + "/" + e.Path
+		}
+		r.Counters = append(r.Counters, e)
+		r.AddMetric("ctr/"+e.Path, "", float64(e.Value))
+	}
 }
 
 // Metric returns the named metric's value (0, false when absent).

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"hash/crc32"
+	"strings"
 	"testing"
 	"time"
 
@@ -20,8 +21,11 @@ import (
 // reassembly and the forwarding fast path all run — and reports metrics
 // that fingerprint the delivered byte stream. The disablePool flag flips
 // the per-kernel packet pool into pass-through mode, so a campaign run
-// with it set is the unpooled control group.
-func pooledTrafficExperiment(disablePool bool) func(seed int64) exp.Result {
+// with it set is the unpooled control group. exportCounters additionally
+// snapshots the kernel's metrics registry into the result (the pooling
+// comparison keeps it off: the pool gauges legitimately differ between
+// pooled and pass-through runs).
+func pooledTrafficExperiment(disablePool, exportCounters bool) func(seed int64) exp.Result {
 	return func(seed int64) exp.Result {
 		k := sim.NewKernel(seed)
 		stack.PoolFor(k).SetDisabled(disablePool)
@@ -69,6 +73,9 @@ func pooledTrafficExperiment(disablePool bool) func(seed int64) exp.Result {
 		r.AddMetric("payload_bytes", "B", float64(payloadBytes))
 		r.AddMetric("payload_crc32", "", float64(crc.Sum32()))
 		r.AddMetric("end_time", "ns", float64(k.Now()))
+		if exportCounters {
+			r.AddCounters("", k)
+		}
 		return r
 	}
 }
@@ -85,7 +92,7 @@ func TestCampaignJSONByteIdenticalPoolingOnOff(t *testing.T) {
 	for _, poolOff := range []bool{false, true} {
 		for _, workers := range []int{1, 2, 4} {
 			rep := harness.Campaign{Runs: runs, Parallel: workers, BaseSeed: baseSeed}.
-				RunFunc("DET", "pooled datagram determinism", pooledTrafficExperiment(poolOff))
+				RunFunc("DET", "pooled datagram determinism", pooledTrafficExperiment(poolOff, false))
 			if len(rep.Failures) > 0 {
 				t.Fatalf("poolOff=%v workers=%d: replica failures: %+v", poolOff, workers, rep.Failures)
 			}
@@ -105,6 +112,44 @@ func TestCampaignJSONByteIdenticalPoolingOnOff(t *testing.T) {
 				t.Fatalf("campaign JSON diverged: %s vs %s\n--- %s ---\n%s\n--- %s ---\n%s",
 					desc, wantDesc, wantDesc, want, desc, buf.Bytes())
 			}
+		}
+	}
+}
+
+// TestCampaignCounterMetricsDeterministic is the acceptance check for
+// the counter export: with the full registry snapshot riding along as
+// ctr/ metrics, the campaign JSON must still be byte-identical at any
+// worker count, and the counters must actually be there.
+func TestCampaignCounterMetricsDeterministic(t *testing.T) {
+	const runs = 6
+	const baseSeed = 1988
+	var want []byte
+	for _, workers := range []int{1, 2, 4} {
+		rep := harness.Campaign{Runs: runs, Parallel: workers, BaseSeed: baseSeed}.
+			RunFunc("DET", "counter export determinism", pooledTrafficExperiment(false, true))
+		if len(rep.Failures) > 0 {
+			t.Fatalf("workers=%d: replica failures: %+v", workers, rep.Failures)
+		}
+		ctrs, forwarded := 0, false
+		for _, m := range rep.Metrics {
+			if strings.HasPrefix(m.Name, "ctr/") {
+				ctrs++
+				if m.Name == "ctr/gw/ip/forwarded" && m.Mean > 0 {
+					forwarded = true
+				}
+			}
+		}
+		if ctrs == 0 || !forwarded {
+			t.Fatalf("workers=%d: counter metrics missing (ctr/ count %d, forwarded seen %v)", workers, ctrs, forwarded)
+		}
+		var buf bytes.Buffer
+		if err := harness.WriteJSON(&buf, baseSeed, runs, []*harness.Report{rep}); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = append([]byte(nil), buf.Bytes()...)
+		} else if !bytes.Equal(want, buf.Bytes()) {
+			t.Fatalf("campaign JSON diverged at %d workers", workers)
 		}
 	}
 }

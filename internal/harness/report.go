@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"darpanet/internal/exp"
 	"darpanet/internal/stats"
@@ -93,12 +94,17 @@ func (c Campaign) aggregate(id, title string, replicas []replica) *Report {
 }
 
 // Table renders the aggregate as a report table: one row per metric with
-// mean ± 95% CI and the spread statistics.
+// mean ± 95% CI and the spread statistics. The per-layer counter mirrors
+// ("ctr/..." — hundreds per experiment) stay in the JSON export but are
+// left out of the human-readable table.
 func (r *Report) Table() stats.Table {
 	t := stats.Table{Header: []string{
 		"metric", "unit", "n", "mean", "±95% CI", "stddev", "min", "p50", "max",
 	}}
 	for _, m := range r.Metrics {
+		if strings.HasPrefix(m.Name, "ctr/") {
+			continue
+		}
 		t.AddRow(m.Name, m.Unit, fmt.Sprint(m.N),
 			fmtG(m.Mean), fmtG(m.CI95), fmtG(m.Stddev),
 			fmtG(m.Min), fmtG(m.P50), fmtG(m.Max))

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sort"
 
+	"darpanet/internal/metrics"
 	"darpanet/internal/packet"
 	"darpanet/internal/sim"
 )
@@ -107,6 +108,15 @@ func (r *Reassembler) SetPool(p *packet.Pool) { r.pool = p }
 
 // Stats returns a copy of the reassembly counters.
 func (r *Reassembler) Stats() ReassemblerStats { return r.stats }
+
+// RegisterMetrics binds the reassembly counters into reg under
+// <node>/reasm/..., plus a gauge for incomplete groups still held.
+func (r *Reassembler) RegisterMetrics(reg *metrics.Registry, node string) {
+	reg.Counter(node, "reasm", "datagrams", &r.stats.Datagrams)
+	reg.Counter(node, "reasm", "fragments", &r.stats.Fragments)
+	reg.Counter(node, "reasm", "timeouts", &r.stats.Timeouts)
+	reg.Gauge(node, "reasm", "pending", func() uint64 { return uint64(len(r.groups)) })
+}
 
 // Pending returns the number of incomplete fragment groups held.
 func (r *Reassembler) Pending() int { return len(r.groups) }

@@ -30,7 +30,8 @@ type P2P struct {
 	tx       [2]*transmitter
 	down     bool
 	lostDown uint64
-	Drops    uint64 // frames dropped at full output queues
+	noMatch  uint64 // frames released with no station to deliver to
+	Drops    uint64 // frames dropped at full output queues or flushed by a crashing node
 }
 
 // NewP2P creates a point-to-point link with the given characteristics.
@@ -42,6 +43,7 @@ func NewP2P(k *sim.Kernel, name string, cfg Config) *P2P {
 	for i := range p.tx {
 		p.tx[i] = newTransmitter(k, &p.cfg, p.propagate, &p.Drops)
 	}
+	registerMedium(k, name, &p.lostDown, &p.Drops, &p.noMatch, nil, nil, p.tx[0], p.tx[1])
 	return p
 }
 
@@ -75,6 +77,7 @@ func (p *P2P) Attach(name string) *NIC {
 		if p.ends[i] == nil {
 			n := &NIC{name: name, addr: Addr(i + 1), medium: p, up: true}
 			p.ends[i] = n
+			registerNIC(p.k, n)
 			return n
 		}
 	}
@@ -109,16 +112,20 @@ func (p *P2P) propagate(from *NIC, f Frame) {
 	if p.cfg.Loss > 0 && p.k.Rand().Float64() < p.cfg.Loss {
 		if peer := p.Peer(from); peer != nil {
 			peer.stats.RxLost++
+		} else {
+			p.noMatch++
 		}
 		f.Release()
 		return
 	}
 	peer := p.Peer(from)
 	if peer == nil {
+		p.noMatch++
 		f.Release()
 		return
 	}
 	if f.Dst != Broadcast && f.Dst != peer.addr {
+		p.noMatch++
 		f.Release()
 		return
 	}
@@ -137,7 +144,15 @@ type Bus struct {
 	next     Addr
 	down     bool
 	lostDown uint64
-	Drops    uint64
+	noMatch  uint64 // unicast frames no station matched (or a lost copy reached no one)
+	// Broadcast fan-out accounting: one transmitted broadcast frame
+	// becomes one copy per matching station (bcastCopies counts both
+	// delivered clones and copies the medium lost) plus the consumed
+	// original (bcastFanout). Without these the conservation ledger
+	// could not balance a LAN.
+	bcastCopies uint64
+	bcastFanout uint64
+	Drops       uint64 // frames dropped at the full shared queue or flushed by a crashing node
 }
 
 // NewBus creates a shared-bus LAN.
@@ -147,6 +162,7 @@ func NewBus(k *sim.Kernel, name string, cfg Config) *Bus {
 	}
 	b := &Bus{k: k, name: name, cfg: cfg, next: 1}
 	b.tx = newTransmitter(k, &b.cfg, b.propagate, &b.Drops)
+	registerMedium(k, name, &b.lostDown, &b.Drops, &b.noMatch, &b.bcastCopies, &b.bcastFanout, b.tx)
 	return b
 }
 
@@ -176,6 +192,7 @@ func (b *Bus) Attach(name string) *NIC {
 	n := &NIC{name: name, addr: b.next, medium: b, up: true}
 	b.next++
 	b.stations = append(b.stations, n)
+	registerNIC(b.k, n)
 	return n
 }
 
@@ -187,7 +204,7 @@ func (b *Bus) propagate(from *NIC, f Frame) {
 		f.Release()
 		return
 	}
-	delivered := false
+	delivered, accounted := false, false
 	for _, st := range b.stations {
 		if st == from {
 			continue
@@ -197,6 +214,13 @@ func (b *Bus) propagate(from *NIC, f Frame) {
 		}
 		if b.cfg.Loss > 0 && b.k.Rand().Float64() < b.cfg.Loss {
 			st.stats.RxLost++
+			if f.Dst == Broadcast {
+				// A lost broadcast copy is never cloned; count the
+				// virtual copy so RxLost has a matching origination.
+				b.bcastCopies++
+			} else {
+				accounted = true
+			}
 			continue
 		}
 		g := f
@@ -204,12 +228,18 @@ func (b *Bus) propagate(from *NIC, f Frame) {
 			// Each broadcast receiver gets (and releases) its own copy;
 			// the original is released below.
 			g.Payload = clonePayload(f.pool, f.Payload)
+			b.bcastCopies++
 		} else {
-			delivered = true
+			delivered, accounted = true, true
 		}
 		st.deliver(g)
 	}
 	if !delivered {
+		if f.Dst == Broadcast {
+			b.bcastFanout++
+		} else if !accounted {
+			b.noMatch++
+		}
 		f.Release()
 	}
 }
@@ -271,7 +301,7 @@ func (r *Radio) propagate(from *NIC, f Frame) {
 		return
 	}
 	loss := r.lossNow()
-	delivered := false
+	delivered, accounted := false, false
 	for _, st := range r.stations {
 		if st == from {
 			continue
@@ -281,17 +311,28 @@ func (r *Radio) propagate(from *NIC, f Frame) {
 		}
 		if loss > 0 && r.k.Rand().Float64() < loss {
 			st.stats.RxLost++
+			if f.Dst == Broadcast {
+				r.bcastCopies++
+			} else {
+				accounted = true
+			}
 			continue
 		}
 		g := f
 		if f.Dst == Broadcast {
 			g.Payload = clonePayload(f.pool, f.Payload)
+			r.bcastCopies++
 		} else {
-			delivered = true
+			delivered, accounted = true, true
 		}
 		st.deliver(g)
 	}
 	if !delivered {
+		if f.Dst == Broadcast {
+			r.bcastFanout++
+		} else if !accounted {
+			r.noMatch++
+		}
 		f.Release()
 	}
 }

@@ -66,6 +66,7 @@ type Stats struct {
 	TxDrops           uint64 // dropped at the output queue
 	RxLost            uint64 // lost by the medium on the way in
 	RxDown            uint64 // arrived while the interface was down
+	RxNoRecv          uint64 // arrived with no receiver registered
 }
 
 // NIC is a network interface: the attachment point between a node's stack
@@ -156,6 +157,12 @@ func (n *NIC) FlushQueue() int {
 		}
 		if qf.from == n {
 			n.stats.TxDrops++
+			if t.drops != nil {
+				// The medium-level drop counter keeps the conservation
+				// ledger balanced: these frames were counted TxFrames
+				// when queued and now die without being delivered.
+				*t.drops++
+			}
 			qf.f.Release()
 			dropped++
 			continue
@@ -201,6 +208,8 @@ func (n *NIC) deliver(f Frame) {
 	if !n.up || n.recv == nil {
 		if !n.up {
 			n.stats.RxDown++
+		} else {
+			n.stats.RxNoRecv++
 		}
 		f.Release()
 		return
@@ -297,6 +306,7 @@ type transmitter struct {
 	busy        bool
 	deliver     func(from *NIC, f Frame)
 	drops       *uint64
+	inFlight    uint64      // frames past serialization, propagation pending
 	cur         queuedFrame // the frame occupying the transmitter
 	serialized  func()      // prebound onSerialized
 	freeFlights []*flight
@@ -335,6 +345,7 @@ func (fl *flight) run() {
 	t, from, f := fl.t, fl.from, fl.f
 	fl.from, fl.f = nil, Frame{}
 	t.freeFlights = append(t.freeFlights, fl)
+	t.inFlight--
 	t.deliver(from, f)
 }
 
@@ -380,6 +391,7 @@ func (t *transmitter) onSerialized() {
 		d += sim.Duration(t.k.Rand().Int63n(int64(t.cfg.Jitter)))
 	}
 	fl := t.getFlight(qf.from, qf.f)
+	t.inFlight++
 	t.k.After(d, fl.fire)
 	if t.qdisc != nil {
 		if next, ok := t.qdisc.Dequeue(); ok {

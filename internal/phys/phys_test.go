@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"darpanet/internal/metrics"
 	"darpanet/internal/sim"
 )
 
@@ -333,4 +334,43 @@ func TestQueueLenAccessor(t *testing.T) {
 	if a.QueueLen() != 0 {
 		t.Fatal("queue not drained")
 	}
+}
+
+// TestPriorityBandCounters checks that each band counts its own
+// enqueues and tail drops, and that RegisterMetrics exposes them.
+func TestPriorityBandCounters(t *testing.T) {
+	k := sim.NewKernel(1)
+	link := NewP2P(k, "l0", Config{BitsPerSec: 1_000_000, MTU: 1500})
+	a := link.Attach("a")
+	b := link.Attach("b")
+	q := NewPriority(2, 2, func(p []byte) int { return int(p[0]) })
+	a.SetQdisc(q)
+	b.SetReceiver(func(Frame) {})
+	// First send transmits immediately (bypasses the queue); then fill
+	// band 1 past its 2-slot capacity and put one frame in band 0.
+	a.Send(b.Addr(), []byte{0, 0})
+	for i := 0; i < 4; i++ {
+		a.Send(b.Addr(), []byte{1, byte(i)})
+	}
+	a.Send(b.Addr(), []byte{0, 9})
+	if got := q.BandStats(1); got.Enqueues != 2 || got.Drops != 2 {
+		t.Fatalf("band 1 = %+v, want 2 enqueues 2 drops", got)
+	}
+	if got := q.BandStats(0); got.Enqueues != 1 || got.Drops != 0 {
+		t.Fatalf("band 0 = %+v, want 1 enqueue 0 drops", got)
+	}
+	reg := metrics.For(k)
+	q.RegisterMetrics(reg, "a")
+	snap := reg.Snapshot()
+	for path, want := range map[string]uint64{
+		"a/qdisc/band0_enqueues": 1,
+		"a/qdisc/band0_drops":    0,
+		"a/qdisc/band1_enqueues": 2,
+		"a/qdisc/band1_drops":    2,
+	} {
+		if v, ok := snap.Get(path); !ok || v != want {
+			t.Errorf("%s = %d (present=%v), want %d", path, v, ok, want)
+		}
+	}
+	k.Run()
 }

@@ -1,5 +1,11 @@
 package phys
 
+import (
+	"fmt"
+
+	"darpanet/internal/metrics"
+)
+
 // Qdisc is a queueing discipline for frames waiting at a transmitter. The
 // default is a bounded FIFO; gateways that honour the IP type-of-service
 // field install a priority queue whose classifier peeks at the datagram's
@@ -48,28 +54,49 @@ func (q *fifoQdisc) Dequeue() (queuedFrame, bool) {
 
 func (q *fifoQdisc) Len() int { return len(q.frames) }
 
-// prioQdisc serves strict-priority bands, each a bounded FIFO. Higher band
-// index is served first.
-type prioQdisc struct {
+// BandStats counts one priority band's traffic.
+type BandStats struct {
+	Enqueues uint64 // frames accepted into the band
+	Drops    uint64 // frames tail-dropped because the band was full
+}
+
+// PrioQdisc serves strict-priority bands, each a bounded FIFO. Higher
+// band index is served first. Each band keeps its own enqueue and drop
+// counters: with only the NIC-aggregate TxDrops a band can starve or
+// tail-drop invisibly, which hides exactly the type-of-service behavior
+// E2 measures.
+type PrioQdisc struct {
 	bands    [][]queuedFrame
 	perBand  int
 	classify func(payload []byte) int
+	stats    []BandStats
 }
 
 // NewPriority returns a strict-priority discipline with bands bands of
 // perBand capacity each. classify maps a frame payload to a band in
 // [0, bands); out-of-range results are clamped.
-func NewPriority(bands, perBand int, classify func(payload []byte) int) Qdisc {
+func NewPriority(bands, perBand int, classify func(payload []byte) int) *PrioQdisc {
 	if bands <= 0 {
 		bands = 8
 	}
 	if perBand <= 0 {
 		perBand = DefaultQueueLimit
 	}
-	return &prioQdisc{bands: make([][]queuedFrame, bands), perBand: perBand, classify: classify}
+	return &PrioQdisc{
+		bands:    make([][]queuedFrame, bands),
+		perBand:  perBand,
+		classify: classify,
+		stats:    make([]BandStats, bands),
+	}
 }
 
-func (q *prioQdisc) Enqueue(f queuedFrame) bool {
+// Bands returns the number of priority bands.
+func (q *PrioQdisc) Bands() int { return len(q.bands) }
+
+// BandStats returns a copy of one band's counters.
+func (q *PrioQdisc) BandStats(band int) BandStats { return q.stats[band] }
+
+func (q *PrioQdisc) Enqueue(f queuedFrame) bool {
 	b := q.classify(f.f.Payload)
 	if b < 0 {
 		b = 0
@@ -78,13 +105,15 @@ func (q *prioQdisc) Enqueue(f queuedFrame) bool {
 		b = len(q.bands) - 1
 	}
 	if len(q.bands[b]) >= q.perBand {
+		q.stats[b].Drops++
 		return false
 	}
+	q.stats[b].Enqueues++
 	q.bands[b] = append(q.bands[b], f)
 	return true
 }
 
-func (q *prioQdisc) Dequeue() (queuedFrame, bool) {
+func (q *PrioQdisc) Dequeue() (queuedFrame, bool) {
 	for b := len(q.bands) - 1; b >= 0; b-- {
 		if len(q.bands[b]) > 0 {
 			f := q.bands[b][0]
@@ -96,12 +125,21 @@ func (q *prioQdisc) Dequeue() (queuedFrame, bool) {
 	return queuedFrame{}, false
 }
 
-func (q *prioQdisc) Len() int {
+func (q *PrioQdisc) Len() int {
 	n := 0
 	for _, b := range q.bands {
 		n += len(b)
 	}
 	return n
+}
+
+// RegisterMetrics binds every band's counters into reg under
+// <node>/qdisc/band<i>_{enqueues,drops}.
+func (q *PrioQdisc) RegisterMetrics(reg *metrics.Registry, node string) {
+	for i := range q.stats {
+		reg.Counter(node, "qdisc", fmt.Sprintf("band%d_enqueues", i), &q.stats[i].Enqueues)
+		reg.Counter(node, "qdisc", fmt.Sprintf("band%d_drops", i), &q.stats[i].Drops)
+	}
 }
 
 // SetQdisc replaces the queueing discipline of the transmitter that serves

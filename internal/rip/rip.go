@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"darpanet/internal/ipv4"
+	"darpanet/internal/metrics"
 	"darpanet/internal/sim"
 	"darpanet/internal/stack"
 	"darpanet/internal/udp"
@@ -125,6 +126,13 @@ func New(n *stack.Node, t *udp.Transport, cfg Config) (*Router, error) {
 	sock.TTL = 1 // never routed off-link
 	r.sock = sock
 	n.OnLinkChange(r.linkChanged)
+	reg := metrics.For(r.k)
+	reg.Counter(n.Name(), "rip", "updates_sent", &r.stats.UpdatesSent)
+	reg.Counter(n.Name(), "rip", "updates_received", &r.stats.UpdatesReceived)
+	reg.Counter(n.Name(), "rip", "triggered_updates", &r.stats.TriggeredUpdates)
+	reg.Counter(n.Name(), "rip", "route_changes", &r.stats.RouteChanges)
+	reg.Counter(n.Name(), "rip", "entries_sent", &r.stats.EntriesSent)
+	reg.Gauge(n.Name(), "rip", "routes", func() uint64 { return uint64(r.RouteCount()) })
 	return r, nil
 }
 

@@ -51,6 +51,7 @@ func NewFlowAccounting(limit int) *FlowAccounting {
 // every datagram the node originates, delivers or forwards.
 func (n *Node) EnableAccounting(limit int) *FlowAccounting {
 	n.acct = NewFlowAccounting(limit)
+	registerAccounting(n, n.acct)
 	return n.acct
 }
 

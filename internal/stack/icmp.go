@@ -110,6 +110,7 @@ func (n *Node) sendICMPError(orig ipv4.Header, origPayload []byte, typ, code uin
 	}
 	body = append(body, q...)
 	m := icmp.Message{Type: typ, Code: code, Body: body}
+	n.stats.IcmpSent++
 	n.Send(ipv4.Header{Dst: orig.Src, Proto: ipv4.ProtoICMP}, m.Marshal())
 }
 

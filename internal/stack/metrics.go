@@ -1,0 +1,42 @@
+package stack
+
+// This file hooks the IP layer into the telemetry spine
+// (internal/metrics): NewNode binds the node's MIB-style counters and
+// its reassembler once at construction, and EnableAccounting binds the
+// flow-accounting totals when a table is attached. The registry only
+// reads the same uint64 fields the datagram paths already increment, so
+// the forwarding hot path stays allocation- and indirection-free.
+
+import "darpanet/internal/metrics"
+
+// registerNode binds the node's IP counters under <name>/ip/... and its
+// reassembler under <name>/reasm/...
+func registerNode(n *Node) {
+	reg := metrics.For(n.kernel)
+	s := &n.stats
+	reg.Counter(n.name, "ip", "in_receives", &s.InReceives)
+	reg.Counter(n.name, "ip", "in_delivers", &s.InDelivers)
+	reg.Counter(n.name, "ip", "in_hdr_errors", &s.InHdrErrors)
+	reg.Counter(n.name, "ip", "forwarded", &s.Forwarded)
+	reg.Counter(n.name, "ip", "out_requests", &s.OutRequests)
+	reg.Counter(n.name, "ip", "ttl_drops", &s.TTLDrops)
+	reg.Counter(n.name, "ip", "no_route", &s.NoRoute)
+	reg.Counter(n.name, "ip", "no_proto", &s.NoProto)
+	reg.Counter(n.name, "ip", "frag_created", &s.FragCreated)
+	reg.Counter(n.name, "ip", "frag_fails", &s.FragFails)
+	reg.Counter(n.name, "ip", "iface_down", &s.IfaceDown)
+	reg.Counter(n.name, "ip", "not_forwarder", &s.NotForwarder)
+	reg.Counter(n.name, "ip", "icmp_sent", &s.IcmpSent)
+	n.reasm.RegisterMetrics(reg, n.name)
+}
+
+// registerAccounting binds a node's flow-accounting totals under
+// <name>/acct/...
+func registerAccounting(n *Node, a *FlowAccounting) {
+	reg := metrics.For(n.kernel)
+	reg.Counter(n.name, "acct", "total_packets", &a.TotalPackets)
+	reg.Counter(n.name, "acct", "total_bytes", &a.TotalBytes)
+	reg.Counter(n.name, "acct", "unattributed_packets", &a.UnattributedPackets)
+	reg.Counter(n.name, "acct", "unattributed_bytes", &a.UnattributedBytes)
+	reg.Gauge(n.name, "acct", "flows", func() uint64 { return uint64(a.Flows()) })
+}

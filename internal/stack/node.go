@@ -59,6 +59,7 @@ type Stats struct {
 	FragFails    uint64 // DF drops
 	IfaceDown    uint64 // drops at down interfaces
 	NotForwarder uint64 // transit datagrams discarded by a host
+	IcmpSent     uint64 // ICMP error/quench messages originated
 }
 
 // Node is an internet node: a host, or — with Forwarding set — a gateway.
@@ -114,6 +115,7 @@ func NewNode(k *sim.Kernel, name string) *Node {
 		ifc := n.Interface(r.IfIndex)
 		return ifc != nil && ifc.NIC.Up()
 	})
+	registerNode(n)
 	return n
 }
 

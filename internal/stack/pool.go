@@ -1,6 +1,7 @@
 package stack
 
 import (
+	"darpanet/internal/metrics"
 	"darpanet/internal/packet"
 	"darpanet/internal/sim"
 )
@@ -21,5 +22,19 @@ func PoolFor(k *sim.Kernel) *packet.Pool {
 	}
 	p := packet.NewPool()
 	k.SetValue(poolKey{}, p)
+	registerPool(k, p)
 	return p
+}
+
+// registerPool binds the kernel-wide buffer pool's counters into the
+// kernel's metrics registry under kernel/pool/... The pool's fields are
+// unexported, so gauges read Stats() copies — snapshot-time cost only.
+func registerPool(k *sim.Kernel, p *packet.Pool) {
+	reg := metrics.For(k)
+	reg.Gauge("kernel", "pool", "gets", func() uint64 { return p.Stats().Gets })
+	reg.Gauge("kernel", "pool", "puts", func() uint64 { return p.Stats().Puts })
+	reg.Gauge("kernel", "pool", "hits", func() uint64 { return p.Stats().Hits })
+	reg.Gauge("kernel", "pool", "misses", func() uint64 { return p.Stats().Misses })
+	reg.Gauge("kernel", "pool", "discards", func() uint64 { return p.Stats().Discards })
+	reg.Gauge("kernel", "pool", "free", func() uint64 { return uint64(p.Free()) })
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"darpanet/internal/ipv4"
+	"darpanet/internal/metrics"
 	"darpanet/internal/sim"
 	"darpanet/internal/stack"
 )
@@ -27,6 +28,12 @@ type Transport struct {
 	segsBad   uint64
 	rstsSent  uint64
 
+	// closed accumulates the counters of connections that have been
+	// removed, so the node-level aggregate gauges (metrics registry)
+	// keep counting a connection's traffic after it closes:
+	// aggregate = closed + sum over live connections.
+	closed Stats
+
 	// txScratch is the shared segment-serialization buffer: Send copies
 	// the wire image synchronously, so one scratch serves every
 	// connection without allocating per segment.
@@ -44,7 +51,57 @@ func New(n *stack.Node) *Transport {
 	}
 	n.RegisterProtocol(ipv4.ProtoTCP, t.input)
 	n.OnIcmpError(t.icmpError)
+	t.registerMetrics()
 	return t
+}
+
+// registerMetrics binds the transport into the node's telemetry
+// registry under <node>/tcp/... Demux counters bind directly; the
+// per-connection counters are exposed as aggregate gauges (closed
+// connections' totals plus the live ones), read only at snapshot time —
+// the segment hot path still increments plain per-connection fields.
+func (t *Transport) registerMetrics() {
+	reg := metrics.For(t.k)
+	node := t.node.Name()
+	reg.Counter(node, "tcp", "segs_in", &t.segsIn)
+	reg.Counter(node, "tcp", "segs_bad", &t.segsBad)
+	reg.Counter(node, "tcp", "rsts_sent", &t.rstsSent)
+	agg := func(sel func(*Stats) uint64) func() uint64 {
+		return func() uint64 {
+			v := sel(&t.closed)
+			for _, c := range t.conns {
+				v += sel(&c.stats)
+			}
+			return v
+		}
+	}
+	reg.Gauge(node, "tcp", "bytes_sent", agg(func(s *Stats) uint64 { return s.BytesSent }))
+	reg.Gauge(node, "tcp", "bytes_retrans", agg(func(s *Stats) uint64 { return s.BytesRetrans }))
+	reg.Gauge(node, "tcp", "bytes_received", agg(func(s *Stats) uint64 { return s.BytesReceived }))
+	reg.Gauge(node, "tcp", "segs_sent", agg(func(s *Stats) uint64 { return s.SegsSent }))
+	reg.Gauge(node, "tcp", "segs_received", agg(func(s *Stats) uint64 { return s.SegsReceived }))
+	reg.Gauge(node, "tcp", "retransmits", agg(func(s *Stats) uint64 { return s.Retransmits }))
+	reg.Gauge(node, "tcp", "fast_retransmits", agg(func(s *Stats) uint64 { return s.FastRetransmits }))
+	reg.Gauge(node, "tcp", "timeouts", agg(func(s *Stats) uint64 { return s.Timeouts }))
+	reg.Gauge(node, "tcp", "dup_acks", agg(func(s *Stats) uint64 { return s.DupAcksReceived }))
+	reg.Gauge(node, "tcp", "zero_window_probes", agg(func(s *Stats) uint64 { return s.ZeroWindowProbes }))
+	reg.Gauge(node, "tcp", "source_quenches", agg(func(s *Stats) uint64 { return s.SourceQuenches }))
+	reg.Gauge(node, "tcp", "conns", func() uint64 { return uint64(len(t.conns)) })
+}
+
+// fold adds a defunct connection's counters into the closed aggregate.
+func (s *Stats) fold(c Stats) {
+	s.BytesSent += c.BytesSent
+	s.BytesRetrans += c.BytesRetrans
+	s.BytesReceived += c.BytesReceived
+	s.SegsSent += c.SegsSent
+	s.SegsReceived += c.SegsReceived
+	s.Retransmits += c.Retransmits
+	s.FastRetransmits += c.FastRetransmits
+	s.Timeouts += c.Timeouts
+	s.DupAcksReceived += c.DupAcksReceived
+	s.ZeroWindowProbes += c.ZeroWindowProbes
+	s.SourceQuenches += c.SourceQuenches
 }
 
 // icmpError routes a network-reported error to the connection whose
@@ -209,11 +266,13 @@ func (t *Transport) sendRST(local, remote Endpoint, seg *segment) {
 		rst.marshalInto(&t.txScratch, local.Addr, remote.Addr))
 }
 
-// remove unlinks a defunct connection.
+// remove unlinks a defunct connection, folding its counters into the
+// transport-level aggregate so telemetry survives the connection.
 func (t *Transport) remove(c *Conn) {
 	tuple := fourTuple{local: c.local, remote: c.remote}
 	if t.conns[tuple] == c {
 		delete(t.conns, tuple)
+		t.closed.fold(c.stats)
 	}
 }
 

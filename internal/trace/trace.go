@@ -67,12 +67,42 @@ func Format(e Event) string {
 		fmt.Fprintf(&b, "%s > %s: proto %d, %d bytes", h.Src, h.Dst, h.Proto, len(payload))
 	}
 	if h.TOS != 0 {
-		fmt.Fprintf(&b, " [tos %#02x]", h.TOS)
+		fmt.Fprintf(&b, " [%s]", formatTOS(h.TOS))
 	}
 	if h.TTL <= 3 {
 		fmt.Fprintf(&b, " [ttl %d]", h.TTL)
 	}
 	return b.String()
+}
+
+// precNames are the RFC 791 precedence levels, indexed by TOS>>5.
+var precNames = [8]string{
+	"routine", "priority", "immediate", "flash",
+	"flash-override", "critical", "internetwork-control", "net-control",
+}
+
+// formatTOS renders the type-of-service octet symbolically: the
+// precedence name (omitted at routine) followed by the delay /
+// throughput / reliability bits, e.g. "critical,low-delay". An octet
+// with unknown low bits set falls back to hex.
+func formatTOS(tos uint8) string {
+	if tos&0x03 != 0 {
+		return fmt.Sprintf("tos %#02x", tos)
+	}
+	var parts []string
+	if prec := tos >> 5; prec != 0 {
+		parts = append(parts, precNames[prec])
+	}
+	if tos&ipv4.TOSLowDelay != 0 {
+		parts = append(parts, "low-delay")
+	}
+	if tos&ipv4.TOSHighThroughput != 0 {
+		parts = append(parts, "high-throughput")
+	}
+	if tos&ipv4.TOSHighReliab != 0 {
+		parts = append(parts, "high-reliability")
+	}
+	return strings.Join(parts, ",")
 }
 
 func formatTCP(b *strings.Builder, h ipv4.Header, p []byte) {

@@ -139,8 +139,42 @@ func TestTTLAndTOSAnnotations(t *testing.T) {
 		Src: ipv4.MustParseAddr("1.1.1.1"), Dst: ipv4.MustParseAddr("2.2.2.2")}
 	raw := buildRaw(t, h, nil)
 	out := Format(Event{Raw: raw})
-	if !strings.Contains(out, "[ttl 2]") || !strings.Contains(out, "[tos 0x10]") {
+	if !strings.Contains(out, "[ttl 2]") || !strings.Contains(out, "[low-delay]") {
 		t.Fatalf("annotations missing: %s", out)
+	}
+}
+
+// TestTOSSymbolic walks every precedence level and the service bits
+// through the symbolic renderer.
+func TestTOSSymbolic(t *testing.T) {
+	cases := []struct {
+		tos  uint8
+		want string
+	}{
+		{0x20, "priority"},
+		{0x40, "immediate"},
+		{0x60, "flash"},
+		{0x80, "flash-override"},
+		{0xa0, "critical"},
+		{0xc0, "internetwork-control"},
+		{0xe0, "net-control"},
+		{ipv4.TOSLowDelay, "low-delay"},
+		{ipv4.TOSHighThroughput, "high-throughput"},
+		{ipv4.TOSHighReliab, "high-reliability"},
+		{ipv4.PrecCritical | ipv4.TOSLowDelay, "critical,low-delay"},
+		{0x40 | ipv4.TOSLowDelay | ipv4.TOSHighThroughput, "immediate,low-delay,high-throughput"},
+		{0x23, "tos 0x23"}, // unknown low bits: hex fallback
+	}
+	for _, c := range cases {
+		if got := formatTOS(c.tos); got != c.want {
+			t.Errorf("formatTOS(%#02x) = %q, want %q", c.tos, got, c.want)
+		}
+	}
+	// A routine-precedence, no-bits octet is never annotated at all.
+	h := ipv4.Header{TTL: 64, TOS: 0, Proto: 200,
+		Src: ipv4.MustParseAddr("1.1.1.1"), Dst: ipv4.MustParseAddr("2.2.2.2")}
+	if out := Format(Event{Raw: buildRaw(t, h, nil)}); strings.Contains(out, "[tos") || strings.Contains(out, "routine") {
+		t.Fatalf("TOS 0 must not be annotated: %s", out)
 	}
 }
 

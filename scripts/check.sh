@@ -19,4 +19,12 @@ go test -tags pooldebug -count=1 -run 'TestCrashRestartSoak|TestPartitionHealTra
 # E11 smoke: the fault-injection recovery experiment end to end through
 # the CLI, as a 2-replica campaign.
 go run ./cmd/experiments -only E11 -runs 2 -faults mixed > /dev/null
+# Metrics determinism: the campaign JSON (which now embeds the full
+# per-layer counter registry as ctr/ metrics) must be byte-identical no
+# matter how many workers ran the replicas.
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+go run ./cmd/experiments -only E5 -runs 4 -parallel 1 -json "$tmpdir/p1.json" > /dev/null
+go run ./cmd/experiments -only E5 -runs 4 -parallel "$(nproc)" -json "$tmpdir/pn.json" > /dev/null
+cmp "$tmpdir/p1.json" "$tmpdir/pn.json"
 scripts/benchguard.sh

@@ -1,6 +1,7 @@
-// Command experiments runs the darpanet reproduction experiments (E1–E11,
-// one per architectural claim of Clark's 1988 design-philosophy paper)
-// and prints their tables. See DESIGN.md for the experiment index and
+// Command experiments runs the darpanet reproduction experiments (E1–E12,
+// one per architectural claim of Clark's 1988 design-philosophy paper,
+// plus the E12 scale run on a generated internet) and prints their
+// tables. See DESIGN.md for the experiment index and
 // EXPERIMENTS.md for recorded results.
 //
 // With -runs N (N > 1) each experiment becomes a Monte Carlo campaign:
@@ -14,9 +15,14 @@
 // scenario), or the path of a schedule file in the internal/fault text
 // format.
 //
+// -topo overrides E12's generated internet with an internal/topo spec
+// ("shape:key=val,..."), e.g. -topo waxman:gw=64 or
+// -topo transitstub:gw=40,stubs=9 — the scale experiment reruns on any
+// graph the generator can build.
+//
 // Usage:
 //
-//	experiments [-seed N] [-only E1,E5] [-runs N] [-parallel N] [-json file] [-faults sched] [-metrics]
+//	experiments [-seed N] [-only E1,E5] [-runs N] [-parallel N] [-json file] [-faults sched] [-topo spec] [-metrics]
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"darpanet/internal/fault"
 	"darpanet/internal/harness"
 	"darpanet/internal/metrics"
+	"darpanet/internal/topo"
 )
 
 // resolveFaults maps the -faults value to an E11 driver: a preset name,
@@ -63,6 +70,7 @@ func main() {
 	jsonOut := flag.String("json", "", "write aggregated campaign results to this file as JSON")
 	showMetrics := flag.Bool("metrics", false, "after each single-run table, dump the per-layer counter registry as a tree")
 	faults := flag.String("faults", "", "E11 fault schedule: a preset ("+strings.Join(fault.PresetNames(), ", ")+"), 'random', or a schedule file")
+	topoSpec := flag.String("topo", "", "E12 topology spec, 'shape:key=val,...' (shapes: line, ring, tree, transitstub, waxman)")
 	flag.Parse()
 
 	e11Run := exp.RunE11
@@ -72,6 +80,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	e12Run := exp.RunE12
+	if *topoSpec != "" {
+		spec, err := topo.ParseSpec(*topoSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		e12Run = exp.RunE12With(spec)
 	}
 
 	want := map[string]bool{}
@@ -94,6 +111,12 @@ func main() {
 			e.Run = e11Run
 			if *faults != "" {
 				e.Title += " [-faults " + *faults + "]"
+			}
+		}
+		if e.ID == "E12" {
+			e.Run = e12Run
+			if *topoSpec != "" {
+				e.Title += " [-topo " + *topoSpec + "]"
 			}
 		}
 		start := time.Now()

@@ -51,24 +51,32 @@ type station struct {
 
 // Network is a simulated internetwork under construction or in operation.
 type Network struct {
-	kernel *sim.Kernel
-	nodes  map[string]*stack.Node
-	udps   map[string]*udp.Transport
-	tcps   map[string]*tcp.Transport
-	rips   map[string]*rip.Router
-	nets   map[string]*netInfo
-	order  []string // node insertion order, for deterministic iteration
+	kernel   *sim.Kernel
+	nodes    map[string]*stack.Node
+	udps     map[string]*udp.Transport
+	tcps     map[string]*tcp.Transport
+	rips     map[string]*rip.Router
+	nets     map[string]*netInfo
+	byPrefix map[ipv4.Prefix]*netInfo
+	order    []string // node insertion order, for deterministic iteration
+	netOrder []string // net insertion order, for deterministic iteration
+
+	// staticOracle records that InstallStaticRoutes ran, so later
+	// topology changes (AttachNodeToNet, new nodes) recompute the
+	// oracle instead of leaving the newcomers silently unrouted.
+	staticOracle bool
 }
 
 // New creates an empty network driven by a fresh kernel seeded with seed.
 func New(seed int64) *Network {
 	return &Network{
-		kernel: sim.NewKernel(seed),
-		nodes:  make(map[string]*stack.Node),
-		udps:   make(map[string]*udp.Transport),
-		tcps:   make(map[string]*tcp.Transport),
-		rips:   make(map[string]*rip.Router),
-		nets:   make(map[string]*netInfo),
+		kernel:   sim.NewKernel(seed),
+		nodes:    make(map[string]*stack.Node),
+		udps:     make(map[string]*udp.Transport),
+		tcps:     make(map[string]*tcp.Transport),
+		rips:     make(map[string]*rip.Router),
+		nets:     make(map[string]*netInfo),
+		byPrefix: make(map[ipv4.Prefix]*netInfo),
 	}
 }
 
@@ -98,13 +106,20 @@ func (nw *Network) AddNet(name, prefix string, kind NetKind, cfg phys.Config) {
 	default:
 		panic("core: unknown net kind")
 	}
-	nw.nets[name] = &netInfo{
+	p := ipv4.MustParsePrefix(prefix)
+	if _, dup := nw.byPrefix[p]; dup {
+		panic(fmt.Sprintf("core: duplicate prefix %s", p))
+	}
+	ni := &netInfo{
 		name:     name,
 		kind:     kind,
 		medium:   m,
-		prefix:   ipv4.MustParsePrefix(prefix),
+		prefix:   p,
 		nextHost: 1,
 	}
+	nw.nets[name] = ni
+	nw.byPrefix[p] = ni
+	nw.netOrder = append(nw.netOrder, name)
 }
 
 // Medium returns the medium implementing the named net, for direct fault
@@ -151,6 +166,9 @@ func (nw *Network) addNode(name string, forwarding bool, nets []string) *stack.N
 	for _, netName := range nets {
 		nw.attach(n, netName)
 	}
+	if nw.staticOracle {
+		nw.recomputeStaticRoutes()
+	}
 	return n
 }
 
@@ -170,9 +188,15 @@ func (nw *Network) attach(n *stack.Node, netName string) *stack.Interface {
 }
 
 // AttachNodeToNet joins an existing node to an additional network,
-// assigning the next free host address there.
+// assigning the next free host address there. If the static-route oracle
+// has run, it is recomputed so the new attachment is routable — the old
+// behavior silently left the newcomer (and routes toward it) stale.
 func (nw *Network) AttachNodeToNet(node, net string) *stack.Interface {
-	return nw.attach(nw.mustNode(node), net)
+	ifc := nw.attach(nw.mustNode(node), net)
+	if nw.staticOracle {
+		nw.recomputeStaticRoutes()
+	}
+	return ifc
 }
 
 // Node returns the named node.
@@ -256,93 +280,106 @@ func (nw *Network) RIP(name string) *rip.Router { return nw.rips[name] }
 // with a central oracle and installs static routes on every node — the
 // "routing without the distributed protocol" baseline, also handy for
 // topologies whose tests do not exercise routing dynamics.
+//
+// The computation is one all-pairs pass: a reverse BFS per network over
+// the node graph memoizes, for every node, the next hop toward that
+// network. With the prefix index this is O(nets · edges) total — the
+// per-node O(n²) walk it replaced made 200-gateway internets (see
+// internal/topo) unbuildable in reasonable time.
+//
+// Later topology changes (AttachNodeToNet, AddHost/AddGateway)
+// recompute the oracle automatically, so nodes attached mid-run are
+// routed like everyone else.
 func (nw *Network) InstallStaticRoutes() {
-	for _, name := range nw.order {
-		nw.installStaticFor(name)
-	}
+	nw.staticOracle = true
+	nw.recomputeStaticRoutes()
 }
 
-// installStaticFor runs a BFS from the node across gateways and installs
-// one static route per remote prefix.
-func (nw *Network) installStaticFor(srcName string) {
-	src := nw.mustNode(srcName)
+// recomputeStaticRoutes drops every previously installed topology-derived
+// static route and re-runs the all-pairs computation. Static routes whose
+// prefix is not one of the topology's networks (operator-set defaults via
+// SetDefaultRoute) are left alone.
+func (nw *Network) recomputeStaticRoutes() {
+	for _, name := range nw.order {
+		nw.nodes[name].Table.RemoveIf(func(r stack.Route) bool {
+			return r.Source == stack.SourceStatic && nw.byPrefix[r.Prefix] != nil
+		})
+	}
 
-	type hop struct {
-		node    *stack.Node
-		via     ipv4.Addr // first-hop neighbor address from src
-		ifIndex int       // interface at src
+	// Nets in sorted-prefix order, so each node's routes install in the
+	// same deterministic order the old per-node walk used.
+	names := make([]string, len(nw.netOrder))
+	copy(names, nw.netOrder)
+	sort.Slice(names, func(i, j int) bool {
+		pi, pj := nw.nets[names[i]].prefix, nw.nets[names[j]].prefix
+		if pi.Addr != pj.Addr {
+			return pi.Addr < pj.Addr
+		}
+		return pi.Bits < pj.Bits
+	})
+
+	type arrival struct {
+		via     ipv4.Addr // next-hop neighbor address
+		ifIndex int       // outgoing interface at the routed node
 		dist    int
 	}
-	visited := map[*stack.Node]hop{src: {node: src}}
-	queue := []hop{{node: src}}
+	// Scratch reused across nets; keyed by node pointer.
+	seen := make(map[*stack.Node]arrival, len(nw.order))
+	queue := make([]*stack.Node, 0, len(nw.order))
 
-	// prefix -> best (via, ifIndex, dist)
-	type routeChoice struct {
-		via     ipv4.Addr
-		ifIndex int
-		dist    int
-	}
-	best := make(map[ipv4.Prefix]routeChoice)
-
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		// A non-forwarding node is reachable but routes nothing onward:
-		// neither its other networks nor its neighbors are reachable
-		// through it.
-		if cur.node != src && !cur.node.Forwarding {
-			continue
+	for _, netName := range names {
+		ni := nw.nets[netName]
+		p := ni.prefix
+		for n := range seen {
+			delete(seen, n)
 		}
-		// Record the networks this node attaches to.
-		for _, ifc := range cur.node.Interfaces() {
-			p := ifc.Prefix
-			if _, direct := directPrefix(src, p); direct {
+		queue = queue[:0]
+		// Multi-source start: every station of the destination net is at
+		// distance 0 (it holds the direct route already).
+		for _, st := range ni.stations {
+			if _, ok := seen[st.node]; ok {
 				continue
 			}
-			if b, ok := best[p]; !ok || cur.dist < b.dist {
-				best[p] = routeChoice{via: cur.via, ifIndex: cur.ifIndex, dist: cur.dist}
-			}
+			seen[st.node] = arrival{}
+			queue = append(queue, st.node)
 		}
-		for _, ifc := range cur.node.Interfaces() {
-			ni := nw.netFor(ifc.Prefix)
-			if ni == nil {
+		for qi := 0; qi < len(queue); qi++ {
+			b := queue[qi]
+			// A path toward the net relays through b, so b must forward;
+			// hosts terminate the search (they still *receive* routes —
+			// they were enqueued — they just route nothing onward).
+			if !b.Forwarding {
 				continue
 			}
-			for _, st := range ni.stations {
-				if _, seen := visited[st.node]; seen {
+			d := seen[b].dist
+			for _, bi := range b.Interfaces() {
+				bn := nw.byPrefix[bi.Prefix]
+				if bn == nil || bn == ni {
 					continue
 				}
-				next := hop{node: st.node, via: cur.via, ifIndex: cur.ifIndex, dist: cur.dist + 1}
-				if cur.node == src {
-					next.via = st.ifc.Addr
-					next.ifIndex = ifc.Index
+				for _, st := range bn.stations {
+					a := st.node
+					if _, ok := seen[a]; ok || a == b {
+						continue
+					}
+					seen[a] = arrival{via: bi.Addr, ifIndex: st.ifc.Index, dist: d + 1}
+					queue = append(queue, a)
 				}
-				visited[st.node] = next
-				queue = append(queue, next)
 			}
 		}
-	}
-
-	// Install, deterministically ordered.
-	prefixes := make([]ipv4.Prefix, 0, len(best))
-	for p := range best {
-		prefixes = append(prefixes, p)
-	}
-	sort.Slice(prefixes, func(i, j int) bool {
-		if prefixes[i].Addr != prefixes[j].Addr {
-			return prefixes[i].Addr < prefixes[j].Addr
+		for _, a := range queue {
+			arr := seen[a]
+			if arr.dist == 0 {
+				continue // attached directly; the direct route wins anyway
+			}
+			a.Table.Add(stack.Route{
+				Prefix:  p,
+				Via:     arr.via,
+				IfIndex: arr.ifIndex,
+				Metric:  arr.dist,
+				Source:  stack.SourceStatic,
+			})
 		}
-		return prefixes[i].Bits < prefixes[j].Bits
-	})
-	for _, p := range prefixes {
-		c := best[p]
-		src.Table.Add(stack.Route{
-			Prefix:  p,
-			Via:     c.via,
-			IfIndex: c.ifIndex,
-			Metric:  c.dist,
-			Source:  stack.SourceStatic,
-		})
 	}
 }
 
@@ -356,15 +393,8 @@ func directPrefix(n *stack.Node, p ipv4.Prefix) (*stack.Interface, bool) {
 	return nil, false
 }
 
-// netFor finds the netInfo with the given prefix.
-func (nw *Network) netFor(p ipv4.Prefix) *netInfo {
-	for _, ni := range nw.nets {
-		if ni.prefix == p {
-			return ni
-		}
-	}
-	return nil
-}
+// netFor finds the netInfo with the given prefix (nil when unknown).
+func (nw *Network) netFor(p ipv4.Prefix) *netInfo { return nw.byPrefix[p] }
 
 // CrashNode models abrupt node failure — the paper's gateway loss. The
 // routing process loses its RAM first (so the dying node does not poison

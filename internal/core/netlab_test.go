@@ -179,3 +179,59 @@ func TestUDPLazySingleton(t *testing.T) {
 		t.Fatal("UDP transport not cached")
 	}
 }
+
+// TestAttachNodeToNetRecomputesStaticRoutes pins the fix for the oracle
+// silently skipping late attachments: a gateway double-homed onto a net
+// *after* InstallStaticRoutes ran must become the shortest next hop, and
+// a node added after the oracle ran must be routable at all.
+func TestAttachNodeToNetRecomputesStaticRoutes(t *testing.T) {
+	nw := chainNet(1)
+	nw.InstallStaticRoutes()
+
+	// Before: h1 reaches lanB in 2 hops via gw1/gw2.
+	if r, ok := nw.Node("h1").Table.Lookup(nw.Addr("h2")); !ok || r.Metric != 2 {
+		t.Fatalf("precondition: route to h2 = %+v, ok=%v, want metric 2", r, ok)
+	}
+
+	// gw1 joins lanB directly mid-run: the oracle must shorten h1's
+	// route to one hop. Before the fix this attachment changed nothing.
+	nw.AttachNodeToNet("gw1", "lanB")
+	r, ok := nw.Node("h1").Table.Lookup(nw.Addr("h2"))
+	if !ok {
+		t.Fatal("no route to h2 after attach")
+	}
+	if r.Metric != 1 {
+		t.Fatalf("metric after double-homing gw1 = %d, want 1", r.Metric)
+	}
+	if r.Via != nw.Addr("gw1") {
+		t.Fatalf("via = %v, want gw1 %v", r.Via, nw.Addr("gw1"))
+	}
+
+	// A node added after the oracle ran gets routes too.
+	nw.AddNet("lanC", "10.0.3.0/24", LAN, phys.Config{MTU: 1500})
+	nw.AddHost("h3", "lanC")
+	nw.AttachNodeToNet("gw2", "lanC")
+	got := 0
+	nw.Node("h3").Ping(nw.Addr("h1"), 2, 10*time.Millisecond, func(uint16, sim.Duration) { got++ })
+	nw.RunFor(2 * time.Second)
+	if got != 2 {
+		t.Fatalf("h3 -> h1 replies = %d, want 2", got)
+	}
+}
+
+// TestSetDefaultRouteSurvivesRecompute guards the recompute path: an
+// operator-installed default route (not a topology prefix) must not be
+// clobbered when the oracle recomputes.
+func TestSetDefaultRouteSurvivesRecompute(t *testing.T) {
+	nw := chainNet(1)
+	nw.SetDefaultRoute("h1", "gw1")
+	nw.InstallStaticRoutes()
+	nw.AttachNodeToNet("gw2", "lanA") // triggers recompute
+	r, ok := nw.Node("h1").Table.Lookup(ipv4.MustParseAddr("192.168.50.1"))
+	if !ok {
+		t.Fatal("default route vanished after static recompute")
+	}
+	if r.Prefix != ipv4.MustParsePrefix("0.0.0.0/0") {
+		t.Fatalf("lookup hit %v, want the default route", r.Prefix)
+	}
+}

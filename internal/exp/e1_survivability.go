@@ -13,6 +13,18 @@ import (
 	"darpanet/internal/vc"
 )
 
+// netHook, when non-nil, observes every core.Network a lab-topology
+// builder produces before the experiment drives it. The golden-trace
+// test uses it to install packet taps without changing the drivers.
+var netHook func(*core.Network)
+
+func hookNet(nw *core.Network) *core.Network {
+	if netHook != nil {
+		netHook(nw)
+	}
+	return nw
+}
+
 // squareNet builds the dual-path backbone used by E1/E4-style runs:
 //
 //	lanA--gwA --n1-- gwB--lanB
@@ -36,7 +48,7 @@ func squareNet(seed int64) *core.Network {
 	nw.AddGateway("gwB", "lanB", "n1", "n2")
 	nw.AddGateway("gwC", "n2", "n3")
 	nw.AddGateway("gwD", "n3", "n4")
-	return nw
+	return hookNet(nw)
 }
 
 func fastRIP() rip.Config {

@@ -54,7 +54,7 @@ func gridNet(seed int64) *core.Network {
 		}
 		nw.AddGateway(fmt.Sprintf("gw%d", i), nets...)
 	}
-	return nw
+	return hookNet(nw)
 }
 
 // RunE4 measures the paper's distributed-management goal: nine gateways

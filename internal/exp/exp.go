@@ -7,6 +7,7 @@ package exp
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"darpanet/internal/metrics"
@@ -62,6 +63,39 @@ func (r *Result) AddCounters(scope string, k *sim.Kernel) {
 	}
 }
 
+// AddCounterSums records layer-level counter totals — every registry
+// descriptor summed across nodes — as "ctr/<scope>/<layer>/<name>"
+// metrics and counter entries. On generated internets (internal/topo,
+// hundreds of nodes) the per-node mirror AddCounters emits would swamp
+// a campaign export with tens of thousands of metrics; the sums keep
+// it compact while preserving the per-layer story.
+func (r *Result) AddCounterSums(scope string, k *sim.Kernel) {
+	sums := make(map[string]uint64)
+	for _, e := range metrics.For(k).Snapshot() {
+		p := e.Path
+		if i := strings.LastIndex(p, "~"); i >= 0 && !strings.Contains(p[i:], "/") {
+			p = p[:i] // uniquified duplicate, fold into the base name
+		}
+		if i := strings.Index(p, "/"); i >= 0 {
+			p = p[i+1:] // drop the node segment
+		}
+		sums[p] += e.Value
+	}
+	order := make([]string, 0, len(sums))
+	for p := range sums {
+		order = append(order, p)
+	}
+	sort.Strings(order)
+	for _, p := range order {
+		path := p
+		if scope != "" {
+			path = scope + "/" + p
+		}
+		r.Counters = append(r.Counters, metrics.Entry{Path: path, Value: sums[p]})
+		r.AddMetric("ctr/"+path, "", float64(sums[p]))
+	}
+}
+
 // Metric returns the named metric's value (0, false when absent).
 func (r *Result) Metric(name string) (float64, bool) {
 	for _, m := range r.Metrics {
@@ -112,6 +146,7 @@ var All = []Experiment{
 	{"E9", "Byte-stream sequence space: repacketization on retransmit", RunE9},
 	{"E10", "Flow/congestion control: 1988 TCP with and without Van Jacobson", RunE10},
 	{"E11", "Recovery under scripted failure: fault injection, reconvergence, blackout loss", RunE11},
+	{"E12", "Scale: convergence, forwarding cost and conservation on a generated internet", RunE12},
 }
 
 // ByID returns the experiment with the given ID.

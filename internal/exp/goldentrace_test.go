@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"darpanet/internal/core"
+	"darpanet/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden trace files")
+
+// traceTail is how many trace lines each golden keeps. Capturing the
+// tail (trace.Buffer drops the oldest) makes the comparison sensitive to
+// the entire run: any earlier divergence in event ordering, RNG draws or
+// retransmission timing shifts everything that follows.
+const traceTail = 200
+
+// captureTrace runs one experiment with a packet tap on tapNode in every
+// core.Network the run builds, returning the rendered trace tail.
+func captureTrace(run func(int64) Result, tapNode string, seed int64) string {
+	buf := &trace.Buffer{Limit: traceTail}
+	netHook = func(nw *core.Network) {
+		present := false
+		for _, name := range nw.Nodes() {
+			if name == tapNode {
+				present = true
+				break
+			}
+		}
+		if !present {
+			return
+		}
+		k := nw.Kernel()
+		nw.Node(tapNode).SetPacketTap(func(send bool, iface string, raw []byte) {
+			dir := trace.Recv
+			if send {
+				dir = trace.Send
+			}
+			buf.Add(trace.Event{
+				At: k.Now(), Node: tapNode, Dir: dir, Iface: iface,
+				Raw: append([]byte(nil), raw...),
+			})
+		})
+	}
+	defer func() { netHook = nil }()
+	run(seed)
+	return buf.String()
+}
+
+// TestGoldenTraces replays E1 and E4 with a packet tap and compares the
+// rendered trace byte-for-byte against the committed goldens. A failure
+// means the simulation is no longer deterministic — or its behavior
+// changed; if the change is intentional, regenerate with
+//
+//	go test ./internal/exp/ -run TestGoldenTraces -update
+func TestGoldenTraces(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(int64) Result
+		node string // tapped node, present in every core.Network of the run
+	}{
+		{"e1", RunE1, "h1"},
+		{"e4", RunE4, "gw0"},
+	}
+	for _, tc := range cases {
+		for _, seed := range []int64{1, 2, 3} {
+			t.Run(fmt.Sprintf("%s_seed%d", tc.name, seed), func(t *testing.T) {
+				got := captureTrace(tc.run, tc.node, seed)
+				if got == "" {
+					t.Fatal("experiment produced an empty trace")
+				}
+				path := filepath.Join("testdata", "golden", fmt.Sprintf("%s_seed%d.trace", tc.name, seed))
+				if *updateGolden {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden (generate with -update): %v", err)
+				}
+				if got != string(want) {
+					t.Fatalf("trace diverged from %s:\n%s", path, firstDiff(string(want), got))
+				}
+			})
+		}
+	}
+}
+
+// firstDiff locates the first line where two traces disagree.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("line %d:\n  golden: %q\n  got:    %q", i+1, w, g)
+		}
+	}
+	return "traces identical (length mismatch only)"
+}

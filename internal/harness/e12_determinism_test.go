@@ -1,0 +1,44 @@
+package harness_test
+
+import (
+	"bytes"
+	"testing"
+
+	"darpanet/internal/exp"
+	"darpanet/internal/harness"
+	"darpanet/internal/topo"
+)
+
+// TestE12CampaignJSONByteIdentical is the scale campaign's acceptance
+// check: replicas generate whole internets, converge 200 routers by
+// batched gossip and drive a traffic matrix — and the aggregated JSON
+// must still be byte-for-byte identical at any worker count. The small
+// Waxman spec keeps the test quick while still exercising generation,
+// batched RIP and the audit under the campaign scheduler; the default
+// 200-gateway spec is covered by the recorded campaign in
+// EXPERIMENTS.md.
+func TestE12CampaignJSONByteIdentical(t *testing.T) {
+	const runs = 3
+	spec, err := topo.ParseSpec("waxman:gw=16,hosts=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := exp.RunE12With(spec)
+	var want []byte
+	for _, workers := range []int{1, 3} {
+		rep := harness.Campaign{Runs: runs, Parallel: workers, BaseSeed: 1988}.
+			RunFunc("E12", "scale on a generated internet", run)
+		if len(rep.Failures) > 0 {
+			t.Fatalf("workers=%d: replica failures: %+v", workers, rep.Failures)
+		}
+		var buf bytes.Buffer
+		if err := harness.WriteJSON(&buf, 1988, runs, []*harness.Report{rep}); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = append([]byte(nil), buf.Bytes()...)
+		} else if !bytes.Equal(want, buf.Bytes()) {
+			t.Fatal("campaign JSON diverged between worker counts")
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package rip
+
+import (
+	"testing"
+
+	"darpanet/internal/ipv4"
+)
+
+// FuzzRIPMessageRoundTrip: every entry decodeMessage extracts from a
+// wire message must re-encode (via the same encodeEntry sendUpdates
+// uses) into a message that decodes to the identical advertisement
+// list. Also pins the parser's bounds discipline: a count byte larger
+// than the payload yields only complete entries, never a read past the
+// end.
+func FuzzRIPMessageRoundTrip(f *testing.F) {
+	// Seeds: a two-entry update, a poisoned route, an over-claiming
+	// count, and a wrong version.
+	mk := func(entries ...[3]uint32) []byte {
+		msg := []byte{1, byte(len(entries))}
+		for _, e := range entries {
+			var buf [entryLen]byte
+			encodeEntry(buf[:], ipv4.Prefix{Addr: ipv4.Addr(e[0]), Bits: int(e[1])}, int(e[2]))
+			msg = append(msg, buf[:]...)
+		}
+		return msg
+	}
+	f.Add(mk([3]uint32{0x0a000100, 24, 1}, [3]uint32{0x0a000200, 24, 2}))
+	f.Add(mk([3]uint32{0x0a090000, 16, uint32(Infinity)}))
+	f.Add([]byte{1, 200, 0x0a, 0, 1, 0, 24, 3}) // count says 200, holds 1
+	f.Add([]byte{2, 1, 0, 0, 0, 0, 0, 0})       // wrong version
+
+	type entry struct {
+		p      ipv4.Prefix
+		metric int
+	}
+	decode := func(data []byte) ([]entry, bool) {
+		var out []entry
+		ok := decodeMessage(data, func(p ipv4.Prefix, metric int) {
+			out = append(out, entry{p, metric})
+		})
+		return out, ok
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, ok := decode(data)
+		if !ok {
+			if len(got) != 0 {
+				t.Fatal("rejected message still produced entries")
+			}
+			return
+		}
+		if max := (len(data) - 2) / entryLen; len(got) > max {
+			t.Fatalf("decoded %d entries from room for %d", len(got), max)
+		}
+		// Re-encode the advertisement list the way sendUpdates does and
+		// decode again: the lists must match exactly. Metrics survive
+		// only modulo byte truncation, which the wire field forces.
+		msg := []byte{1, byte(len(got))}
+		for _, e := range got {
+			var buf [entryLen]byte
+			encodeEntry(buf[:], e.p, e.metric)
+			msg = append(msg, buf[:]...)
+		}
+		back, ok := decode(msg)
+		if !ok {
+			t.Fatal("re-encoded message rejected")
+		}
+		if len(back) != len(got) {
+			t.Fatalf("entry count changed across round trip: %d -> %d", len(got), len(back))
+		}
+		for i := range got {
+			w, g := got[i], back[i]
+			if w.p.Addr != g.p.Addr || byte(w.p.Bits) != byte(g.p.Bits) || byte(w.metric) != byte(g.metric) {
+				t.Fatalf("entry %d changed across round trip: %+v -> %+v", i, w, g)
+			}
+		}
+	})
+}

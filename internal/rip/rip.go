@@ -44,6 +44,12 @@ type Config struct {
 	// TriggeredDelay bounds the random hold-down before a triggered
 	// update, to coalesce bursts of changes.
 	TriggeredDelay sim.Duration
+	// Batched shares one periodic timer per (kernel, UpdateInterval)
+	// across every router instead of one jittered timer per router, so
+	// internets of hundreds of gateways (internal/topo) do not fill the
+	// event heap with periodic entries. Updates lose their per-router
+	// jitter: all batched routers broadcast in the same kernel tick.
+	Batched bool
 }
 
 // DefaultConfig returns the default timer set (10s updates).
@@ -87,6 +93,7 @@ type Router struct {
 	routes     map[ipv4.Prefix]*route
 	stats      Stats
 	started    bool
+	inTicker   bool // member of the shared batch ticker (Batched mode)
 	trigTimer  sim.Timer
 	tick       sim.Timer
 	periodicFn func() // prebound periodic, reused every interval
@@ -158,6 +165,12 @@ func (r *Router) Start() {
 			metric:    1,
 			lastHeard: r.k.Now(),
 		}
+	}
+	if r.cfg.Batched {
+		if !r.inTicker {
+			tickerFor(r.k, r.cfg.UpdateInterval).join(r)
+		}
+		return
 	}
 	jitter := sim.Duration(r.k.Rand().Int63n(int64(r.cfg.UpdateInterval)/2 + 1))
 	r.tick = r.k.After(jitter, r.periodicFn)
@@ -300,8 +313,44 @@ func (r *Router) fireTriggered() {
 // 4-byte prefix, 1-byte bits, 1-byte metric (6 bytes each).
 const entryLen = 6
 
+// MaxEntriesPerUpdate bounds one update message, as RFC 1058 does (25
+// entries keeps a message at 152 bytes, under the 576-byte minimum MTU).
+// The bound also keeps the 1-byte count honest: on generated internets
+// (internal/topo) a table holds hundreds of prefixes, and packing them
+// into one message would silently truncate the count to byte(n).
+const MaxEntriesPerUpdate = 25
+
+// encodeEntry writes one advertisement into e (entryLen bytes).
+func encodeEntry(e []byte, p ipv4.Prefix, metric int) {
+	binary.BigEndian.PutUint32(e[0:], uint32(p.Addr))
+	e[4] = byte(p.Bits)
+	e[5] = byte(metric)
+}
+
+// decodeMessage validates a wire message and calls fn for each entry
+// carried, with the metric exactly as advertised (the receiver-side +1
+// and Infinity clamp are routing policy, not wire format). Returns
+// false for data that is not a version-1 message. A count larger than
+// the data actually holds yields only the complete entries — the
+// parser never reads past the payload.
+func decodeMessage(data []byte, fn func(p ipv4.Prefix, metric int)) bool {
+	if len(data) < 2 || data[0] != 1 {
+		return false
+	}
+	count := int(data[1])
+	for i, off := 0, 2; i < count && off+entryLen <= len(data); i, off = i+1, off+entryLen {
+		p := ipv4.Prefix{
+			Addr: ipv4.Addr(binary.BigEndian.Uint32(data[off:])),
+			Bits: int(data[off+4]),
+		}
+		fn(p, int(data[off+5]))
+	}
+	return true
+}
+
 // sendUpdates broadcasts the distance vector out every up interface,
-// applying split horizon with poisoned reverse per interface.
+// applying split horizon with poisoned reverse per interface. Tables
+// larger than MaxEntriesPerUpdate go out as several messages.
 func (r *Router) sendUpdates(triggered bool) {
 	// Compose entries in prefix order so runs are bit-for-bit
 	// reproducible regardless of map iteration.
@@ -319,28 +368,34 @@ func (r *Router) sendUpdates(triggered bool) {
 		if !ifc.NIC.Up() || !r.ifaceAllowed(ifc) {
 			continue
 		}
+		dst := udp.Endpoint{Addr: ipv4.Broadcast, Port: Port}
 		payload := []byte{1, 0}
 		count := 0
+		flush := func() {
+			if count == 0 {
+				return
+			}
+			payload[1] = byte(count)
+			r.stats.UpdatesSent++
+			r.sock.SendToVia(ifc, dst, payload)
+			payload = []byte{1, 0}
+			count = 0
+		}
 		for _, rt := range ordered {
 			metric := rt.metric
 			if !rt.via.IsZero() && rt.ifIndex == ifc.Index {
 				metric = Infinity // poisoned reverse
 			}
 			var e [entryLen]byte
-			binary.BigEndian.PutUint32(e[0:], uint32(rt.prefix.Addr))
-			e[4] = byte(rt.prefix.Bits)
-			e[5] = byte(metric)
+			encodeEntry(e[:], rt.prefix, metric)
 			payload = append(payload, e[:]...)
 			count++
 			r.stats.EntriesSent++
+			if count == MaxEntriesPerUpdate {
+				flush()
+			}
 		}
-		if count == 0 {
-			continue
-		}
-		payload[1] = byte(count)
-		r.stats.UpdatesSent++
-		dst := udp.Endpoint{Addr: ipv4.Broadcast, Port: Port}
-		r.sock.SendToVia(ifc, dst, payload)
+		flush()
 	}
 	_ = triggered
 }
@@ -365,20 +420,14 @@ func (r *Router) input(from udp.Endpoint, data []byte, h ipv4.Header) {
 		return
 	}
 	r.stats.UpdatesReceived++
-	count := int(data[1])
-	off := 2
 	now := r.k.Now()
-	for i := 0; i < count && off+entryLen <= len(data); i, off = i+1, off+entryLen {
-		p := ipv4.Prefix{
-			Addr: ipv4.Addr(binary.BigEndian.Uint32(data[off:])),
-			Bits: int(data[off+4]),
-		}
-		metric := int(data[off+5]) + 1
+	decodeMessage(data, func(p ipv4.Prefix, metric int) {
+		metric++
 		if metric > Infinity {
 			metric = Infinity
 		}
 		r.consider(p, from.Addr, inIfc.Index, metric, now)
-	}
+	})
 }
 
 // consider applies the Bellman–Ford update rules to one advertised route.
@@ -433,6 +482,18 @@ func (r *Router) Converged(want []ipv4.Prefix) bool {
 		}
 	}
 	return true
+}
+
+// Metric returns the router's current metric for prefix p (direct
+// networks are 1, each gateway hop adds 1), and whether a live route is
+// known at all. Property tests compare it against the topology oracle's
+// BFS hop count.
+func (r *Router) Metric(p ipv4.Prefix) (int, bool) {
+	rt, ok := r.routes[p]
+	if !ok || rt.metric >= Infinity {
+		return 0, false
+	}
+	return rt.metric, true
 }
 
 // RouteCount returns the number of live routes known.

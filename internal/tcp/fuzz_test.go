@@ -1,0 +1,49 @@
+package tcp
+
+import (
+	"bytes"
+	"testing"
+
+	"darpanet/internal/ipv4"
+)
+
+// FuzzTCPSegmentRoundTrip: any wire image parseSegment accepts (the
+// checksum over the pseudo-header must verify) must re-marshal and
+// re-parse to the same segment. marshal emits the canonical form —
+// no NOP padding, the MSS option only when set — so the round trip
+// proves the parsed struct loses nothing the state machine uses.
+func FuzzTCPSegmentRoundTrip(f *testing.F) {
+	src := ipv4.MustParseAddr("10.0.1.1")
+	dst := ipv4.MustParseAddr("10.0.2.1")
+	for _, s := range []segment{
+		{srcPort: 4000, dstPort: 80, seq: 100, flags: flagSYN, wnd: 65535, mss: 1460},
+		{srcPort: 80, dstPort: 4000, seq: 700, ack: 101, flags: flagSYN | flagACK, wnd: 8192, mss: 536},
+		{srcPort: 4000, dstPort: 80, seq: 101, ack: 701, flags: flagACK | flagPSH, wnd: 4096, payload: []byte("GET / HTTP/1.0\r\n")},
+		{srcPort: 80, dstPort: 4000, seq: 701, ack: 117, flags: flagFIN | flagACK, wnd: 1024},
+		{srcPort: 9, dstPort: 9, seq: 0, ack: 0, flags: flagRST, wnd: 0},
+	} {
+		f.Add(s.marshal(src, dst))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := parseSegment(src, dst, data)
+		if err != nil {
+			return
+		}
+		wire := s.marshal(src, dst)
+		s2, err := parseSegment(src, dst, wire)
+		if err != nil {
+			t.Fatalf("re-parse of re-marshalled segment: %v", err)
+		}
+		if s2.srcPort != s.srcPort || s2.dstPort != s.dstPort ||
+			s2.seq != s.seq || s2.ack != s.ack ||
+			s2.flags != s.flags || s2.wnd != s.wnd || s2.mss != s.mss {
+			t.Fatalf("segment changed across round trip:\n  parsed    %+v\n  reparsed  %+v", s, s2)
+		}
+		if !bytes.Equal(s2.payload, s.payload) {
+			t.Fatalf("payload changed across round trip: %q -> %q", s.payload, s2.payload)
+		}
+		if s2.segLen() != s.segLen() {
+			t.Fatalf("sequence-space length changed: %d -> %d", s.segLen(), s2.segLen())
+		}
+	})
+}

@@ -1,0 +1,49 @@
+package topo
+
+import (
+	"testing"
+
+	"darpanet/internal/ipv4"
+)
+
+// BenchmarkScaleForward measures per-datagram forwarding cost on the
+// E12 reference internet (200 gateways, 380 nets): one datagram from a
+// stub host across the access trunk, the transit ring and down the far
+// side, end to end per iteration. benchguard pins this at 0 allocs/op
+// — the pooled hot path must hold at scale, not just on the 3-node
+// micro-benchmark topology.
+func BenchmarkScaleForward(b *testing.B) {
+	nw, m := Generate(DefaultSpec(), 1)
+	nw.InstallStaticRoutes()
+	k := nw.Kernel()
+
+	hosts := m.HostNames()
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	var delivered uint64
+	nw.Node(dst).RegisterProtocol(200, func(h ipv4.Header, p []byte) { delivered++ })
+	payload := make([]byte, 512)
+	hdr := ipv4.Header{Dst: nw.Addr(dst), Proto: 200}
+
+	// Path length, for the ns/op denominator: ns/op ÷ (hops+1) is the
+	// per-hop cost the scale experiment reports.
+	hops := m.NetHops(src)
+	lastStub := m.NodeDefs[len(m.NodeDefs)-1].Nets[0]
+	b.ReportMetric(float64(hops[lastStub]+1), "hops")
+
+	for i := 0; i < 64; i++ {
+		if err := nw.Node(src).Send(hdr, payload); err != nil {
+			b.Fatal(err)
+		}
+		k.Run()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Node(src).Send(hdr, payload)
+		k.Run()
+	}
+	b.StopTimer()
+	if delivered != uint64(64+b.N) {
+		b.Fatalf("delivered %d of %d", delivered, 64+b.N)
+	}
+}

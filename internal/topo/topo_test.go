@@ -1,0 +1,201 @@
+package topo
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"darpanet/internal/sim"
+)
+
+func TestParseSpecDefaults(t *testing.T) {
+	for _, shape := range []string{"line", "ring", "tree", "transitstub", "waxman"} {
+		spec, err := ParseSpec(shape)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", shape, err)
+		}
+		if spec.Shape != Shape(shape) || spec.Gateways < 1 {
+			t.Fatalf("ParseSpec(%q) = %+v", shape, spec)
+		}
+	}
+}
+
+func TestParseSpecOverrides(t *testing.T) {
+	spec, err := ParseSpec("transitstub:gw=4,stubs=2,hosts=3,mix=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{Shape: TransitStub, Gateways: 4, StubsPer: 2, Hosts: 3, Mix: false}
+	if spec != want {
+		t.Fatalf("spec = %+v, want %+v", spec, want)
+	}
+}
+
+func TestParseSpecRejectsJunk(t *testing.T) {
+	for _, s := range []string{
+		"mesh", "line:gw=0", "tree:degree=0", "waxman:alpha=0",
+		"line:bogus=1", "line:gw", "transitstub:stubs=0",
+	} {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", s)
+		}
+	}
+}
+
+func TestSpecStringRoundTrips(t *testing.T) {
+	for _, s := range []string{
+		"line:gw=8,hosts=2,mix=1",
+		"tree:gw=15,degree=3,hosts=1,mix=0",
+		"transitstub:gw=6,stubs=2,hosts=1,mix=1",
+		"waxman:gw=12,alpha=0.3,beta=0.5,hosts=1,mix=1",
+	} {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("re-parsing %q: %v", spec.String(), err)
+		}
+		if back != spec {
+			t.Fatalf("round trip %q -> %+v -> %q -> %+v", s, spec, spec.String(), back)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, shape := range []string{"ring:gw=6", "waxman:gw=10", "transitstub:gw=5,stubs=2"} {
+		spec, err := ParseSpec(shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, m1 := Generate(spec, 7)
+		_, m2 := Generate(spec, 7)
+		j1, _ := json.Marshal(m1)
+		j2, _ := json.Marshal(m2)
+		if string(j1) != string(j2) {
+			t.Fatalf("%s: same (spec, seed) produced different manifests", shape)
+		}
+		_, m3 := Generate(spec, 8)
+		j3, _ := json.Marshal(m3)
+		if spec.Mix && string(j1) == string(j3) {
+			t.Fatalf("%s: different seeds produced identical mixed manifests", shape)
+		}
+	}
+}
+
+func TestDefaultSpecScale(t *testing.T) {
+	nw, m := Generate(DefaultSpec(), 1)
+	if m.Gateways != 200 {
+		t.Fatalf("gateways = %d, want 200", m.Gateways)
+	}
+	if m.Nets < 300 {
+		t.Fatalf("nets = %d, want >= 300", m.Nets)
+	}
+	if m.Stubs != 175 || m.Hosts != 175 {
+		t.Fatalf("stubs = %d hosts = %d, want 175/175", m.Stubs, m.Hosts)
+	}
+	if got := len(nw.Nodes()); got != m.Gateways+m.Hosts {
+		t.Fatalf("live nodes = %d, manifest says %d", got, m.Gateways+m.Hosts)
+	}
+	if got := len(nw.AllPrefixes()); got != m.Nets {
+		t.Fatalf("live prefixes = %d, manifest says %d", got, m.Nets)
+	}
+}
+
+func TestManifestMatchesNetwork(t *testing.T) {
+	spec, _ := ParseSpec("tree:gw=7,degree=2,hosts=2")
+	nw, m := Generate(spec, 3)
+	if len(m.NetDefs) != m.Nets || m.Nets != m.Trunks+m.Stubs {
+		t.Fatalf("net bookkeeping off: %+v", m)
+	}
+	for _, nd := range m.NetDefs {
+		if nw.Prefix(nd.Name).String() != nd.Prefix {
+			t.Fatalf("net %s: manifest prefix %s, live %s", nd.Name, nd.Prefix, nw.Prefix(nd.Name))
+		}
+	}
+	for _, nd := range m.NodeDefs {
+		if nw.Node(nd.Name).Forwarding != nd.Forwarding {
+			t.Fatalf("node %s forwarding mismatch", nd.Name)
+		}
+	}
+}
+
+// TestShapesConnected: from g0 every generated net must be reachable
+// through forwarding nodes, for every shape at several seeds.
+func TestShapesConnected(t *testing.T) {
+	for _, s := range []string{
+		"line:gw=8", "ring:gw=8", "tree:gw=13,degree=3",
+		"transitstub:gw=5,stubs=2", "waxman:gw=14",
+	} {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(1); seed <= 3; seed++ {
+			_, m := Generate(spec, seed)
+			hops := m.NetHops("g0")
+			if len(hops) != m.Nets {
+				t.Fatalf("%s seed %d: g0 reaches %d of %d nets", s, seed, len(hops), m.Nets)
+			}
+		}
+	}
+}
+
+func TestNetHopsLine(t *testing.T) {
+	spec, _ := ParseSpec("line:gw=5,hosts=0,mix=0")
+	_, m := Generate(spec, 1)
+	hops := m.NetHops("g0")
+	// g0's own stub s0 is direct; g4's stub s4 sits behind 4 gateways.
+	if hops["s0"] != 0 {
+		t.Fatalf("hops to s0 = %d, want 0", hops["s0"])
+	}
+	if hops["s4"] != 4 {
+		t.Fatalf("hops to s4 = %d, want 4", hops["s4"])
+	}
+}
+
+// TestStaticOracleMatchesManifestBFS cross-checks the two independent
+// shortest-path computations: core's all-pairs static oracle on the
+// live network and the manifest's graph BFS.
+func TestStaticOracleMatchesManifestBFS(t *testing.T) {
+	spec, _ := ParseSpec("waxman:gw=12,hosts=1")
+	for seed := int64(1); seed <= 3; seed++ {
+		nw, m := Generate(spec, seed)
+		nw.InstallStaticRoutes()
+		for _, gw := range m.GatewayNames() {
+			hops := m.NetHops(gw)
+			for _, nd := range m.NetDefs {
+				want, reachable := hops[nd.Name]
+				if !reachable || want == 0 {
+					continue // direct nets carry no static route
+				}
+				r, ok := nw.Node(gw).Table.Lookup(nw.Prefix(nd.Name).Host(1))
+				if !ok {
+					t.Fatalf("seed %d: %s has no route to %s", seed, gw, nd.Name)
+				}
+				if r.Metric != want {
+					t.Fatalf("seed %d: %s -> %s metric %d, BFS says %d",
+						seed, gw, nd.Name, r.Metric, want)
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratedInternetCarriesTraffic drives a real datagram across a
+// generated graph end to end: host default route -> stub gateway ->
+// backbone -> far stub.
+func TestGeneratedInternetCarriesTraffic(t *testing.T) {
+	spec, _ := ParseSpec("transitstub:gw=4,stubs=2,hosts=1,mix=0")
+	nw, m := Generate(spec, 2)
+	nw.InstallStaticRoutes()
+	hosts := m.HostNames()
+	first, last := hosts[0], hosts[len(hosts)-1]
+	got := 0
+	nw.Node(first).Ping(nw.Addr(last), 3, 10*time.Millisecond, func(uint16, sim.Duration) { got++ })
+	nw.RunFor(5 * time.Second)
+	if got != 3 {
+		t.Fatalf("%s -> %s replies = %d, want 3", first, last, got)
+	}
+}

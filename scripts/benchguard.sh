@@ -15,8 +15,8 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BASELINE=BENCH_baseline.txt
-PKGS="./internal/sim/ ./internal/stack/ ./internal/fault/"
-PATTERN='BenchmarkEventThroughput|BenchmarkTimerChurn|BenchmarkManyPendingTimers|BenchmarkForwardHotPath|BenchmarkSingleHopSend|BenchmarkForwardHotPathIdleInjector'
+PKGS="./internal/sim/ ./internal/stack/ ./internal/fault/ ./internal/topo/"
+PATTERN='BenchmarkEventThroughput|BenchmarkTimerChurn|BenchmarkManyPendingTimers|BenchmarkForwardHotPath|BenchmarkSingleHopSend|BenchmarkForwardHotPathIdleInjector|BenchmarkScaleForward'
 
 out=$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime 1000x $PKGS)
 printf '%s\n' "$out"

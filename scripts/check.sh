@@ -19,6 +19,13 @@ go test -tags pooldebug -count=1 -run 'TestCrashRestartSoak|TestPartitionHealTra
 # E11 smoke: the fault-injection recovery experiment end to end through
 # the CLI, as a 2-replica campaign.
 go run ./cmd/experiments -only E11 -runs 2 -faults mixed > /dev/null
+# E12 smoke: a small generated internet through the CLI.
+go run ./cmd/experiments -only E12 -topo 'waxman:gw=16' > /dev/null
+# Codec fuzzers, 10s each (go test takes one -fuzz target at a time).
+go test -run '^$' -fuzz FuzzIPv4HeaderRoundTrip -fuzztime 10s ./internal/ipv4/
+go test -run '^$' -fuzz FuzzTCPSegmentRoundTrip -fuzztime 10s ./internal/tcp/
+go test -run '^$' -fuzz FuzzUDPDatagramRoundTrip -fuzztime 10s ./internal/udp/
+go test -run '^$' -fuzz FuzzRIPMessageRoundTrip -fuzztime 10s ./internal/rip/
 # Metrics determinism: the campaign JSON (which now embeds the full
 # per-layer counter registry as ctr/ metrics) must be byte-identical no
 # matter how many workers ran the replicas.

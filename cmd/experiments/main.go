@@ -1,8 +1,8 @@
-// Command experiments runs the darpanet reproduction experiments (E1–E12,
+// Command experiments runs the darpanet reproduction experiments (E1–E13,
 // one per architectural claim of Clark's 1988 design-philosophy paper,
-// plus the E12 scale run on a generated internet) and prints their
-// tables. See DESIGN.md for the experiment index and
-// EXPERIMENTS.md for recorded results.
+// plus the E12 scale run and the E13 congestion-collapse sweep on
+// generated internets) and prints their tables. See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded results.
 //
 // With -runs N (N > 1) each experiment becomes a Monte Carlo campaign:
 // N replicas run on seeds base..base+N-1 — in parallel across -parallel
@@ -20,9 +20,16 @@
 // -topo transitstub:gw=40,stubs=9 — the scale experiment reruns on any
 // graph the generator can build.
 //
+// -workload overrides E13's traffic mix with an internal/workload spec
+// ("key=val,..."), e.g. -workload "rate=20,vj=1" to rerun the collapse
+// sweep with Van Jacobson congestion control, or
+// -workload "bulk=1,inter=0,rr=0,voice=0,naive=1" for a pure bulk
+// storm. Keys: bulk, inter, rr, voice, rate, alpha, min, max, think_ms,
+// vj, naive, onoff, on_ms, off_ms.
+//
 // Usage:
 //
-//	experiments [-seed N] [-only E1,E5] [-runs N] [-parallel N] [-json file] [-faults sched] [-topo spec] [-metrics]
+//	experiments [-seed N] [-only E1,E5] [-runs N] [-parallel N] [-json file] [-faults sched] [-topo spec] [-workload spec] [-metrics]
 package main
 
 import (
@@ -39,6 +46,7 @@ import (
 	"darpanet/internal/harness"
 	"darpanet/internal/metrics"
 	"darpanet/internal/topo"
+	"darpanet/internal/workload"
 )
 
 // resolveFaults maps the -faults value to an E11 driver: a preset name,
@@ -71,6 +79,7 @@ func main() {
 	showMetrics := flag.Bool("metrics", false, "after each single-run table, dump the per-layer counter registry as a tree")
 	faults := flag.String("faults", "", "E11 fault schedule: a preset ("+strings.Join(fault.PresetNames(), ", ")+"), 'random', or a schedule file")
 	topoSpec := flag.String("topo", "", "E12 topology spec, 'shape:key=val,...' (shapes: line, ring, tree, transitstub, waxman)")
+	workloadSpec := flag.String("workload", "", "E13 traffic mix, 'key=val,...' (keys: bulk, inter, rr, voice, rate, alpha, min, max, think_ms, vj, naive, onoff, on_ms, off_ms)")
 	flag.Parse()
 
 	e11Run := exp.RunE11
@@ -89,6 +98,15 @@ func main() {
 			os.Exit(1)
 		}
 		e12Run = exp.RunE12With(spec)
+	}
+	e13Run := exp.RunE13
+	if *workloadSpec != "" {
+		ws, err := workload.ParseSpec(*workloadSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		e13Run = exp.RunE13With(ws)
 	}
 
 	want := map[string]bool{}
@@ -117,6 +135,12 @@ func main() {
 			e.Run = e12Run
 			if *topoSpec != "" {
 				e.Title += " [-topo " + *topoSpec + "]"
+			}
+		}
+		if e.ID == "E13" {
+			e.Run = e13Run
+			if *workloadSpec != "" {
+				e.Title += " [-workload " + *workloadSpec + "]"
 			}
 		}
 		start := time.Now()

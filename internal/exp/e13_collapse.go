@@ -1,0 +1,186 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"darpanet/internal/phys"
+	"darpanet/internal/sim"
+	"darpanet/internal/stats"
+	"darpanet/internal/topo"
+	"darpanet/internal/workload"
+)
+
+// E13 — congestion collapse. The paper ranks resource management among
+// the goals the datagram architecture left unsolved; this experiment
+// reproduces what that omission cost. A generated transit-stub internet
+// of T1 trunks is offered an increasing flow-level load (bounded-Pareto
+// sizes, Poisson arrivals, the pre-VJ window-blasting TCP of the era)
+// and delivered goodput is charted against offered load: it rises to
+// the knee, then *declines* as the network fills with retransmitted
+// copies of bytes it already delivered — congestion collapse, the cliff
+// "How We Ruined The Internet" documents. Alongside the goodput curve
+// the run measures global RTO synchronization (mean pairwise
+// correlation of per-flow retransmission bursts) and Jain fairness
+// across the competing flows.
+
+// e13Loads is the offered-load sweep in multiples of one T1 trunk
+// (1.544 Mb/s). The generated internet has 12 T1 stub trunks feeding a
+// 3-trunk transit ring, so the sweep must push well past one trunk's
+// rate to drown the aggregate; the top points sit far beyond the knee.
+var e13Loads = []float64{0.5, 1, 2, 4, 8, 16, 32}
+
+// e13RefBps is the T1 line rate every trunk of the Mix=false
+// transit-stub internet runs at.
+const e13RefBps = 1_544_000.0
+
+// e13Window is the flow-admission window at each load point; flows then
+// get e13Drain to finish before the books close.
+const (
+	e13Window = 15 * time.Second
+	e13Drain  = 10 * time.Second
+)
+
+// e13Topo is the generated internet: a 4-transit ring with 2 stub
+// gateways each — 12 gateways, 8 stub LANs, 24 hosts, every trunk a T1.
+// Routing is static (no RIP): whatever collapses here, collapses from
+// transport behavior alone.
+func e13Topo() topo.Spec {
+	return topo.Spec{Shape: topo.TransitStub, Gateways: 3, StubsPer: 4, Hosts: 1, Mix: false}
+}
+
+// e13GatewayQueue is the per-interface FIFO depth installed on every
+// gateway: the era's generously buffered IMP. Deep drop-tail buffers
+// are the collapse's second ingredient (Nagle, "On Packet Switches
+// with Infinite Storage"): a full 512-frame queue of 536-byte segments
+// adds ~1.4s of delay at T1 rate — several naive RTOs — so hosts
+// retransmit datagrams that are still queued ahead of their copies,
+// and the trunks fill with traffic that is already delivered or
+// already doomed.
+const e13GatewayQueue = 512
+
+// RunE13 runs the congestion-collapse sweep with the default workload
+// mix: bulk-dominated, pre-VJ, and naive-RTO — the fixed 1-second
+// no-backoff retransmission timer of the hosts that actually caused the
+// collapse era (adaptive RTO with exponential backoff, though still
+// pre-VJ, already damps the storm enough to blunt the cliff).
+func RunE13(seed int64) Result {
+	ws := workload.DefaultSpec()
+	ws.NaiveRTO = true
+	// Heavier elephants than the default mix: flows that outlive a
+	// single 16KB window are what contend — a mouse delivers its one
+	// blast and leaves, so an all-mice mix shows saturation, not
+	// collapse.
+	ws.Alpha, ws.MinBytes, ws.MaxBytes = 1.1, 30_000, 2_000_000
+	return runE13(seed, ws, e13Loads, e13Window, e13Drain)
+}
+
+// RunE13With returns an E13 driver with the workload mix replaced — how
+// the -workload flag reshapes the experiment (e.g. vj=1 to rerun the
+// sweep with Van Jacobson's machinery and watch the cliff flatten).
+func RunE13With(ws workload.Spec) func(seed int64) Result {
+	return func(seed int64) Result { return runE13(seed, ws, e13Loads, e13Window, e13Drain) }
+}
+
+// RunE13Sweep returns a driver with full control of the sweep — the
+// campaign-determinism tests use a scaled-down variant.
+func RunE13Sweep(ws workload.Spec, loads []float64, window, drain sim.Duration) func(seed int64) Result {
+	return func(seed int64) Result { return runE13(seed, ws, loads, window, drain) }
+}
+
+func runE13(seed int64, ws workload.Spec, loads []float64, window, drain sim.Duration) Result {
+	table := stats.Table{Header: []string{
+		"offered", "goodput", "flows", "done", "jain", "rto sync", "burst", "fct p50", "retrans"}}
+
+	type point struct {
+		load float64
+		sum  workload.Summary
+	}
+	points := make([]point, 0, len(loads))
+	var lastKernel = (*sim.Kernel)(nil)
+
+	// bpsPerUnitRate converts a target offered load to an arrival rate:
+	// OfferedBps is linear in Rate (duty cycle included), so one probe
+	// at rate=1 calibrates the whole sweep.
+	bpsPerUnitRate := ws.WithRate(1).OfferedBps()
+
+	for i, load := range loads {
+		// A fresh internet per load point — same topology every time
+		// (generation seed is the campaign seed), with the engine
+		// seeded per-point so load points draw independent traffic.
+		nw, m := topo.Generate(e13Topo(), seed)
+		nw.InstallStaticRoutes()
+		for _, g := range m.GatewayNames() {
+			for _, ifc := range nw.Node(g).Interfaces() {
+				ifc.NIC.SetQdisc(phys.NewFIFO(e13GatewayQueue))
+			}
+		}
+		spec := ws.WithRate(load * e13RefBps / bpsPerUnitRate)
+		eng := workload.New(nw, m.HostNames(), spec, seed*1000+int64(i))
+		eng.Arm(window)
+		nw.RunFor(window + drain)
+		sum := eng.Summarize(window)
+		points = append(points, point{load, sum})
+		lastKernel = nw.Kernel()
+
+		table.AddRow(
+			fmt.Sprintf("%.2fx T1", load),
+			stats.HumanRate(sum.GoodputBps),
+			fmt.Sprint(sum.Started),
+			fmt.Sprintf("%d (%.0f%%)", sum.Completed, 100*ratio(sum.Completed, sum.Started)),
+			fmt.Sprintf("%.3f", sum.Jain),
+			fmt.Sprintf("%.3f", sum.RTOSyncCorr),
+			fmt.Sprintf("%.1f", sum.RetransBurstiness),
+			fmt.Sprintf("%.2fs", sum.FCT.Percentile(50)),
+			fmt.Sprint(sum.Retransmits),
+		)
+	}
+
+	// The collapse headline: where goodput peaks, and how far it has
+	// fallen by the top of the sweep. collapse_ratio < 1 is the cliff.
+	peakGoodput, kneeLoad := 0.0, 0.0
+	for _, p := range points {
+		if p.sum.GoodputBps > peakGoodput {
+			peakGoodput, kneeLoad = p.sum.GoodputBps, p.load
+		}
+	}
+	last := points[len(points)-1]
+	collapseRatio := 0.0
+	if peakGoodput > 0 {
+		collapseRatio = last.sum.GoodputBps / peakGoodput
+	}
+
+	headline := fmt.Sprintf("goodput peaks at %.2fx T1 then falls to %.0f%% of peak at %.2fx — the network does more work to deliver less, the resource-management debt of the datagram architecture.",
+		kneeLoad, 100*collapseRatio, last.load)
+	if collapseRatio >= 1 || kneeLoad >= last.load {
+		headline = fmt.Sprintf("no collapse: goodput still climbing at %.2fx T1 — with this workload the hosts' congestion response keeps the sweep on the capacity curve.", last.load)
+	}
+	res := Result{
+		ID:    "E13",
+		Title: "Congestion collapse: goodput vs offered load on a generated internet (pre-VJ era)",
+		Table: table,
+		Notes: []string{
+			headline,
+			"rto sync is the mean pairwise correlation of per-flow retransmission bursts: the era's fixed timers fire together, so every flow retransmits into the same full queues.",
+		},
+	}
+	for i, p := range points {
+		pre := fmt.Sprintf("l%d_", i)
+		res.AddMetric(pre+"load", "xT1", p.load)
+		res.AddMetric(pre+"offered", "bps", p.sum.OfferedBps)
+		res.AddMetric(pre+"goodput", "bps", p.sum.GoodputBps)
+		res.AddMetric(pre+"flows", "", float64(p.sum.Started))
+		res.AddMetric(pre+"done", "", ratio(p.sum.Completed, p.sum.Started))
+		res.AddMetric(pre+"jain", "", p.sum.Jain)
+		res.AddMetric(pre+"rto_sync", "", p.sum.RTOSyncCorr)
+		res.AddMetric(pre+"burstiness", "", p.sum.RetransBurstiness)
+		res.AddMetric(pre+"fct_p50", "s", p.sum.FCT.Percentile(50))
+		res.AddMetric(pre+"retrans", "", float64(p.sum.Retransmits))
+	}
+	res.AddMetric("peak_goodput", "bps", peakGoodput)
+	res.AddMetric("knee_load", "xT1", kneeLoad)
+	res.AddMetric("collapse_ratio", "", collapseRatio)
+	res.AddMetric("collapsed", "", bool01(collapseRatio < 1 && kneeLoad < last.load))
+	res.AddCounterSums("collapse", lastKernel)
+	return res
+}

@@ -147,6 +147,7 @@ var All = []Experiment{
 	{"E10", "Flow/congestion control: 1988 TCP with and without Van Jacobson", RunE10},
 	{"E11", "Recovery under scripted failure: fault injection, reconvergence, blackout loss", RunE11},
 	{"E12", "Scale: convergence, forwarding cost and conservation on a generated internet", RunE12},
+	{"E13", "Congestion collapse: goodput vs offered load through the cliff", RunE13},
 }
 
 // ByID returns the experiment with the given ID.

@@ -1,0 +1,45 @@
+package harness_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"darpanet/internal/exp"
+	"darpanet/internal/harness"
+	"darpanet/internal/workload"
+)
+
+// TestE13CampaignJSONByteIdentical is the congestion-collapse
+// campaign's acceptance check: replicas each run a workload engine over
+// hundreds of generated flows at several load points, and the
+// aggregated JSON must still be byte-for-byte identical at any worker
+// count — the engine draws every random decision from its own seeded
+// rng, never from shared state. A scaled-down sweep (two load points,
+// short window) keeps the test quick while still exercising all four
+// application profiles, the retransmission bin sampler and the
+// summary reduction under the campaign scheduler; the full sweep is
+// covered by the recorded campaign in EXPERIMENTS.md.
+func TestE13CampaignJSONByteIdentical(t *testing.T) {
+	const runs = 3
+	ws := workload.DefaultSpec()
+	ws.NaiveRTO = true
+	run := exp.RunE13Sweep(ws, []float64{1, 6}, 4*time.Second, 4*time.Second)
+	var want []byte
+	for _, workers := range []int{1, 3} {
+		rep := harness.Campaign{Runs: runs, Parallel: workers, BaseSeed: 1988}.
+			RunFunc("E13", "congestion collapse on a generated internet", run)
+		if len(rep.Failures) > 0 {
+			t.Fatalf("workers=%d: replica failures: %+v", workers, rep.Failures)
+		}
+		var buf bytes.Buffer
+		if err := harness.WriteJSON(&buf, 1988, runs, []*harness.Report{rep}); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = append([]byte(nil), buf.Bytes()...)
+		} else if !bytes.Equal(want, buf.Bytes()) {
+			t.Fatal("campaign JSON diverged between worker counts")
+		}
+	}
+}

@@ -51,6 +51,7 @@ type Sender struct {
 	Sent   uint64
 	ticker sim.Timer
 	seq    uint32
+	buf    []byte // reusable frame image; Send copies it synchronously
 }
 
 // NewSender creates a voice sender on node n targeting dst with the given
@@ -90,7 +91,13 @@ func (s *Sender) Stop() {
 }
 
 func (s *Sender) emit() {
-	payload := make([]byte, headerLen+s.FrameBytes)
+	// The IP layer copies the payload into pooled storage synchronously,
+	// so one scratch image serves every frame: a steady voice stream
+	// allocates nothing per packet.
+	if cap(s.buf) < headerLen+s.FrameBytes {
+		s.buf = make([]byte, headerLen+s.FrameBytes)
+	}
+	payload := s.buf[:headerLen+s.FrameBytes]
 	binary.BigEndian.PutUint32(payload[0:], s.seq)
 	binary.BigEndian.PutUint64(payload[4:], uint64(s.k.Now()))
 	binary.BigEndian.PutUint16(payload[12:], s.id)
@@ -150,8 +157,17 @@ type Receiver struct {
 	onFrame func(Frame)
 }
 
-// NewReceiver attaches a voice receiver for stream id to node n.
+// NewReceiver attaches a voice receiver for stream id to node n. It
+// claims the node's NVP protocol slot for itself; a node terminating
+// several concurrent streams wants a Mux instead.
 func NewReceiver(n *stack.Node, id uint16) *Receiver {
+	r := newReceiver(n, id)
+	n.RegisterProtocol(ipv4.ProtoNVP, r.input)
+	return r
+}
+
+// newReceiver builds a receiver without registering a protocol handler.
+func newReceiver(n *stack.Node, id uint16) *Receiver {
 	r := &Receiver{
 		node:         n,
 		k:            n.Kernel(),
@@ -160,8 +176,48 @@ func NewReceiver(n *stack.Node, id uint16) *Receiver {
 		seen:         make(map[uint32]bool),
 	}
 	r.stats.MinDelay = 1 << 62
-	n.RegisterProtocol(ipv4.ProtoNVP, r.input)
 	return r
+}
+
+// Mux demultiplexes incoming voice streams by stream id, so one node
+// can terminate many concurrent calls: NewReceiver claims the node's
+// single NVP protocol slot, which is fine for a two-party lab but not
+// for a host the workload engine aims hundreds of generated calls at.
+type Mux struct {
+	node  *stack.Node
+	recvs map[uint16]*Receiver
+}
+
+// NewMux attaches a stream demultiplexer to node n, claiming the NVP
+// protocol slot once for every present and future stream.
+func NewMux(n *stack.Node) *Mux {
+	m := &Mux{node: n, recvs: make(map[uint16]*Receiver)}
+	n.RegisterProtocol(ipv4.ProtoNVP, m.input)
+	return m
+}
+
+// Receiver returns the per-stream receiver for id, creating it on first
+// use.
+func (m *Mux) Receiver(id uint16) *Receiver {
+	if r, ok := m.recvs[id]; ok {
+		return r
+	}
+	r := newReceiver(m.node, id)
+	m.recvs[id] = r
+	return r
+}
+
+// Close detaches stream id; later frames for it are ignored.
+func (m *Mux) Close(id uint16) { delete(m.recvs, id) }
+
+// input routes a frame to its stream's receiver by the id field.
+func (m *Mux) input(h ipv4.Header, data []byte) {
+	if len(data) < headerLen {
+		return
+	}
+	if r, ok := m.recvs[binary.BigEndian.Uint16(data[12:])]; ok {
+		r.input(h, data)
+	}
 }
 
 // OnFrame registers a callback invoked for every frame that makes its

@@ -176,6 +176,36 @@ func (s *Sample) Summary(unit string) string {
 		s.N(), s.Mean(), unit, s.Percentile(50), unit, s.Percentile(99), unit, s.Max(), unit)
 }
 
+// JainFairness returns Jain's fairness index (Σx)²/(n·Σx²) over the
+// per-flow allocations xs: 1.0 when every flow gets an equal share,
+// approaching 1/n when one flow starves the rest. Degenerate inputs
+// answer the question they pose — no flows is vacuously fair (1), as is
+// one flow, or an allocation of all zeros.
+func JainFairness(xs []float64) float64 {
+	if len(xs) <= 1 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// GoodputPercentiles reduces a set of per-flow rates to the summary
+// quartet experiment tables report: p10, p50 (median), p90, and mean.
+func GoodputPercentiles(rates []float64) (p10, p50, p90, mean float64) {
+	var s Sample
+	for _, r := range rates {
+		s.Add(r)
+	}
+	return s.Percentile(10), s.Percentile(50), s.Percentile(90), s.Mean()
+}
+
 // Throughput expresses bytes over a simulated interval as bits/second.
 func Throughput(bytes uint64, d sim.Duration) float64 {
 	if d <= 0 {

@@ -246,3 +246,44 @@ func TestSummaryFormat(t *testing.T) {
 		t.Fatalf("summary: %q", out)
 	}
 }
+
+func TestJainFairness(t *testing.T) {
+	if got := JainFairness(nil); got != 1 {
+		t.Errorf("zero flows: %v, want 1", got)
+	}
+	if got := JainFairness([]float64{42}); got != 1 {
+		t.Errorf("one flow: %v, want 1", got)
+	}
+	if got := JainFairness([]float64{5, 5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("all-equal: %v, want 1", got)
+	}
+	if got := JainFairness([]float64{0, 0, 0}); got != 1 {
+		t.Errorf("all-zero: %v, want 1", got)
+	}
+	// One flow hogging everything approaches 1/n.
+	if got, want := JainFairness([]float64{100, 0, 0, 0}), 0.25; math.Abs(got-want) > 1e-12 {
+		t.Errorf("starved: %v, want %v", got, want)
+	}
+	// A known mixed case: (1+2+3)^2 / (3 * 14) = 36/42.
+	if got, want := JainFairness([]float64{1, 2, 3}), 36.0/42.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("mixed: %v, want %v", got, want)
+	}
+}
+
+func TestGoodputPercentiles(t *testing.T) {
+	p10, p50, p90, mean := GoodputPercentiles(nil)
+	if p10 != 0 || p50 != 0 || p90 != 0 || mean != 0 {
+		t.Errorf("empty input: %v %v %v %v, want zeros", p10, p50, p90, mean)
+	}
+	rates := make([]float64, 100)
+	for i := range rates {
+		rates[i] = float64(i + 1)
+	}
+	p10, p50, p90, mean = GoodputPercentiles(rates)
+	if p10 != 10 || p50 != 50 || p90 != 90 {
+		t.Errorf("percentiles %v/%v/%v, want 10/50/90", p10, p50, p90)
+	}
+	if math.Abs(mean-50.5) > 1e-12 {
+		t.Errorf("mean %v, want 50.5", mean)
+	}
+}

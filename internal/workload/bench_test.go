@@ -1,0 +1,121 @@
+package workload_test
+
+import (
+	"testing"
+	"time"
+
+	"darpanet/internal/core"
+	"darpanet/internal/ipv4"
+	"darpanet/internal/phys"
+	"darpanet/internal/workload"
+)
+
+// benchTopo builds h1 -- gw -- h2 with two extra workload hosts (w1 on
+// h1's net, w2 on h2's net) and an armed engine whose flows are in
+// steady state: interactive sessions established and mid-conversation,
+// with think-time timers parked far beyond the measured window. The
+// admission window is already closed, so the engine's only pending work
+// is prebound timers — the forwarding hot path must not pay a single
+// allocation for any of it.
+func benchTopo() (*core.Network, *workload.Engine, *uint64) {
+	nw := core.New(1)
+	// Zero-delay, infinitely fast links: the measured step must drain
+	// the in-flight datagram in a microsecond (matching the fault
+	// injector's hot-path bench).
+	cfg := phys.Config{MTU: 1500}
+	nw.AddNet("n1", "10.0.1.0/24", core.LAN, cfg)
+	nw.AddNet("n2", "10.0.2.0/24", core.LAN, cfg)
+	nw.AddHost("h1", "n1")
+	nw.AddHost("w1", "n1")
+	nw.AddGateway("gw", "n1", "n2")
+	nw.AddHost("h2", "n2")
+	nw.AddHost("w2", "n2")
+	nw.InstallStaticRoutes()
+
+	var delivered uint64
+	nw.Node("h2").RegisterProtocol(200, func(h ipv4.Header, p []byte) { delivered++ })
+
+	spec := workload.DefaultSpec()
+	spec.Bulk, spec.Interactive, spec.RR, spec.Voice = 0, 1, 0, 0
+	spec.Rate = 5
+	spec.Think = 10 * time.Second // parked far beyond the measured window
+	spec.VJ = true
+	eng := workload.New(nw, []string{"w1", "w2"}, spec, 9)
+	eng.Arm(2 * time.Second)
+	// Let the window close and the sessions establish: flows are now
+	// armed, connected, and quiescent until their next think tick.
+	nw.RunFor(3 * time.Second)
+	return nw, eng, &delivered
+}
+
+// step advances simulated time far enough to drain the in-flight
+// datagram without reaching the engine's next timer.
+const step = time.Microsecond
+
+// BenchmarkForwardHotPathActiveWorkload pins the tentpole
+// non-regression: a workload engine with established flows in steady
+// state adds zero allocations to the forwarding hot path. Every
+// recurring engine closure is bound at New/Arm; between flow events the
+// engine schedules nothing but pooled timers.
+func BenchmarkForwardHotPathActiveWorkload(b *testing.B) {
+	nw, eng, delivered := benchTopo()
+	if len(eng.Flows()) == 0 {
+		b.Fatal("no flows admitted before the measured window")
+	}
+	k := nw.Kernel()
+	payload := make([]byte, 512)
+	hdr := ipv4.Header{Dst: nw.Addr("h2"), Proto: 200}
+	h1 := nw.Node("h1")
+
+	for i := 0; i < 64; i++ {
+		if err := h1.Send(hdr, payload); err != nil {
+			b.Fatal(err)
+		}
+		k.RunFor(step)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h1.Send(hdr, payload)
+		k.RunFor(step)
+	}
+	b.StopTimer()
+	if *delivered != uint64(64+b.N) {
+		b.Fatalf("delivered %d of %d", *delivered, 64+b.N)
+	}
+}
+
+// TestActiveWorkloadZeroAlloc enforces the benchmark's claim in a plain
+// test so `go test` alone catches a regression, not only the bench gate.
+func TestActiveWorkloadZeroAlloc(t *testing.T) {
+	nw, eng, delivered := benchTopo()
+	established := 0
+	for _, f := range eng.Flows() {
+		if f.Established && !f.Done {
+			established++
+		}
+	}
+	if established == 0 {
+		t.Fatal("no established in-progress flows — steady state not reached")
+	}
+	k := nw.Kernel()
+	payload := make([]byte, 512)
+	hdr := ipv4.Header{Dst: nw.Addr("h2"), Proto: 200}
+	h1 := nw.Node("h1")
+	for i := 0; i < 64; i++ {
+		if err := h1.Send(hdr, payload); err != nil {
+			t.Fatal(err)
+		}
+		k.RunFor(step)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		h1.Send(hdr, payload)
+		k.RunFor(step)
+	})
+	if avg != 0 {
+		t.Fatalf("hot path with armed workload engine allocates %.1f objects per datagram, want 0", avg)
+	}
+	if *delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+}

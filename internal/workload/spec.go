@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"darpanet/internal/sim"
+)
+
+// Spec parameterizes a traffic mix. Profile weights are relative (they
+// need not sum to 1); a weight of zero disables that profile. Start
+// from DefaultSpec or ParseSpec — the zero value offers no load.
+type Spec struct {
+	// Bulk, Interactive, RR and Voice weight the application profiles:
+	// bulk TCP transfer of a Pareto-sampled size, telnet-like keystroke
+	// echo over TCP, UDP request/response, and NVP constant-rate voice.
+	Bulk, Interactive, RR, Voice float64
+
+	// Rate is the aggregate session arrival rate in flows per second.
+	// Arrivals are Poisson; with OnOff they are modulated by an
+	// exponential on/off process (arrivals only during on-periods).
+	Rate  float64
+	OnOff bool
+	// OnMean and OffMean are the mean on/off period lengths.
+	OnMean, OffMean sim.Duration
+
+	// Alpha, MinBytes and MaxBytes shape the bounded-Pareto bulk flow
+	// size distribution.
+	Alpha    float64
+	MinBytes int
+	MaxBytes int
+
+	// Think is the interactive profile's keystroke interval.
+	Think sim.Duration
+
+	// VJ selects the TCP congestion era: true runs the Van Jacobson
+	// machinery (post-1988), false the window-blasting pre-collapse TCP
+	// ("How We Ruined The Internet") — no congestion window, go-back-N
+	// recovery.
+	VJ bool
+	// NaiveRTO additionally fixes the retransmission timer at 1s with
+	// no exponential backoff — the fully naive host of experiment E6.
+	NaiveRTO bool
+}
+
+// DefaultSpec is a bulk-dominated mix in pre-VJ mode: the workload the
+// congestion-collapse experiment (E13) offers.
+func DefaultSpec() Spec {
+	return Spec{
+		Bulk: 0.70, Interactive: 0.10, RR: 0.15, Voice: 0.05,
+		Rate:  10,
+		Alpha: 1.3, MinBytes: 4_000, MaxBytes: 1_000_000,
+		OnMean: 4 * time.Second, OffMean: 2 * time.Second,
+		Think: 250 * time.Millisecond,
+	}
+}
+
+// MeanFlowBytes returns the analytic mean size of a bulk flow — the
+// quantity offered-load arithmetic (Rate · MeanFlowBytes · 8) uses.
+func (s Spec) MeanFlowBytes() float64 {
+	return BoundedPareto{Alpha: s.Alpha, Min: float64(s.MinBytes), Max: float64(s.MaxBytes)}.Mean()
+}
+
+// OfferedBps returns the analytic offered load in bits per second:
+// arrival rate times mean bulk flow size (on/off modulation scales it
+// by the duty cycle).
+func (s Spec) OfferedBps() float64 {
+	load := s.Rate * s.MeanFlowBytes() * 8
+	if s.OnOff && s.OnMean+s.OffMean > 0 {
+		load *= float64(s.OnMean) / float64(s.OnMean+s.OffMean)
+	}
+	return load
+}
+
+// WithRate returns the spec with the arrival rate replaced — how a load
+// sweep reshapes one mix across its offered-load axis.
+func (s Spec) WithRate(rate float64) Spec {
+	s.Rate = rate
+	return s
+}
+
+// String renders the spec in the form ParseSpec accepts.
+func (s Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bulk=%g,inter=%g,rr=%g,voice=%g,rate=%g", s.Bulk, s.Interactive, s.RR, s.Voice, s.Rate)
+	fmt.Fprintf(&b, ",alpha=%g,min=%d,max=%d", s.Alpha, s.MinBytes, s.MaxBytes)
+	fmt.Fprintf(&b, ",think_ms=%d", int64(s.Think/time.Millisecond))
+	fmt.Fprintf(&b, ",vj=%d,naive=%d,onoff=%d", b01(s.VJ), b01(s.NaiveRTO), b01(s.OnOff))
+	if s.OnOff {
+		fmt.Fprintf(&b, ",on_ms=%d,off_ms=%d",
+			int64(s.OnMean/time.Millisecond), int64(s.OffMean/time.Millisecond))
+	}
+	return b.String()
+}
+
+func b01(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// ParseSpec parses "key=val,key=val,…" into a Spec, starting from
+// DefaultSpec. Keys: bulk, inter, rr, voice (profile weights), rate
+// (flows/s), alpha, min, max (bulk size distribution), think_ms, vj,
+// naive, onoff (0/1), on_ms, off_ms.
+func ParseSpec(text string) (Spec, error) {
+	s := DefaultSpec()
+	if strings.TrimSpace(text) == "" {
+		return s, nil
+	}
+	for _, kv := range strings.Split(text, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("workload: bad spec term %q (want key=val)", kv)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return Spec{}, fmt.Errorf("workload: bad value for %s: %q", key, val)
+		}
+		switch key {
+		case "bulk":
+			s.Bulk = f
+		case "inter":
+			s.Interactive = f
+		case "rr":
+			s.RR = f
+		case "voice":
+			s.Voice = f
+		case "rate":
+			s.Rate = f
+		case "alpha":
+			s.Alpha = f
+		case "min":
+			s.MinBytes = int(f)
+		case "max":
+			s.MaxBytes = int(f)
+		case "think_ms":
+			s.Think = sim.Duration(f) * time.Millisecond
+		case "vj":
+			s.VJ = f != 0
+		case "naive":
+			s.NaiveRTO = f != 0
+		case "onoff":
+			s.OnOff = f != 0
+		case "on_ms":
+			s.OnMean = sim.Duration(f) * time.Millisecond
+		case "off_ms":
+			s.OffMean = sim.Duration(f) * time.Millisecond
+		default:
+			return Spec{}, fmt.Errorf("workload: unknown spec key %q", key)
+		}
+	}
+	return s, s.validate()
+}
+
+func (s Spec) validate() error {
+	if s.Bulk < 0 || s.Interactive < 0 || s.RR < 0 || s.Voice < 0 {
+		return fmt.Errorf("workload: negative profile weight")
+	}
+	if s.Bulk+s.Interactive+s.RR+s.Voice <= 0 {
+		return fmt.Errorf("workload: all profile weights are zero")
+	}
+	if s.Rate <= 0 {
+		return fmt.Errorf("workload: rate must be positive")
+	}
+	if s.Alpha <= 0 {
+		return fmt.Errorf("workload: alpha must be positive")
+	}
+	if s.MinBytes <= 0 || s.MaxBytes < s.MinBytes {
+		return fmt.Errorf("workload: need 0 < min <= max flow size")
+	}
+	if s.OnOff && (s.OnMean <= 0 || s.OffMean <= 0) {
+		return fmt.Errorf("workload: onoff needs positive on_ms and off_ms")
+	}
+	return nil
+}

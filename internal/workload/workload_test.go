@@ -1,0 +1,265 @@
+package workload_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"darpanet/internal/core"
+	"darpanet/internal/metrics"
+	"darpanet/internal/phys"
+	"darpanet/internal/stats"
+	"darpanet/internal/workload"
+)
+
+// lab builds a two-LAN internet with a single gateway: fast enough that
+// a modest spec completes its flows, slow enough that TCP actually
+// windows.
+func lab(seed int64) *core.Network {
+	nw := core.New(seed)
+	cfg := phys.Config{BitsPerSec: 10_000_000, Delay: time.Millisecond, MTU: 1500}
+	nw.AddNet("lan1", "10.0.1.0/24", core.LAN, cfg)
+	nw.AddNet("lan2", "10.0.2.0/24", core.LAN, cfg)
+	for i := 1; i <= 3; i++ {
+		nw.AddHost(fmt.Sprintf("a%d", i), "lan1")
+		nw.AddHost(fmt.Sprintf("b%d", i), "lan2")
+	}
+	nw.AddGateway("gw", "lan1", "lan2")
+	nw.InstallStaticRoutes()
+	return nw
+}
+
+func labHosts() []string {
+	return []string{"a1", "a2", "a3", "b1", "b2", "b3"}
+}
+
+// labSpec is a quick all-profiles mix in VJ mode (completion, not
+// collapse, is what these tests watch).
+func labSpec() workload.Spec {
+	s := workload.DefaultSpec()
+	s.Bulk, s.Interactive, s.RR, s.Voice = 0.4, 0.2, 0.2, 0.2
+	s.Rate = 8
+	s.MaxBytes = 100_000
+	s.VJ = true
+	return s
+}
+
+func TestFlowsCompleteOnLab(t *testing.T) {
+	nw := lab(1)
+	eng := workload.New(nw, labHosts(), labSpec(), 42)
+	window := 5 * time.Second
+	eng.Arm(window)
+	nw.RunFor(60 * time.Second)
+
+	flows := eng.Flows()
+	if len(flows) < 20 {
+		t.Fatalf("admitted only %d flows, want >= 20", len(flows))
+	}
+	byProfile := map[workload.Profile]int{}
+	done := 0
+	for _, f := range flows {
+		byProfile[f.Profile]++
+		if f.Done {
+			done++
+			if f.FCT() <= 0 {
+				t.Errorf("flow %d (%s) done with FCT %v", f.ID, f.Profile, f.FCT())
+			}
+			if f.BytesRx == 0 && f.Profile != workload.Voice {
+				t.Errorf("flow %d (%s) done with zero bytes received", f.ID, f.Profile)
+			}
+		}
+		if f.Src == f.Dst {
+			t.Errorf("flow %d has src == dst == %s", f.ID, f.Src)
+		}
+	}
+	for p := workload.Bulk; p <= workload.Voice; p++ {
+		if byProfile[p] == 0 {
+			t.Errorf("profile %s never drawn across %d flows", p, len(flows))
+		}
+	}
+	if frac := float64(done) / float64(len(flows)); frac < 0.9 {
+		t.Errorf("only %d/%d flows completed on an uncongested lab", done, len(flows))
+	}
+
+	sum := eng.Summarize(window)
+	if sum.Started != len(flows) || sum.Completed != done {
+		t.Errorf("summary counts %d/%d disagree with flow log %d/%d",
+			sum.Started, sum.Completed, len(flows), done)
+	}
+	if sum.GoodputBps <= 0 || sum.DeliveredBytes == 0 {
+		t.Errorf("no goodput recorded: %+v", sum)
+	}
+	if sum.Jain <= 0 || sum.Jain > 1 {
+		t.Errorf("Jain index %v out of (0,1]", sum.Jain)
+	}
+	if len(sum.Goodputs) != len(flows) {
+		t.Errorf("fairness population %d != admitted flows %d", len(sum.Goodputs), len(flows))
+	}
+
+	// The engine's counters are registered in the kernel's metrics
+	// registry under workload/engine.
+	snap := metrics.For(nw.Kernel()).Snapshot()
+	if n := snap.Sum("flows_started"); n != uint64(len(flows)) {
+		t.Errorf("metrics flows_started = %d, want %d", n, len(flows))
+	}
+	if snap.Sum("bytes_delivered") == 0 {
+		t.Error("metrics bytes_delivered stayed zero")
+	}
+}
+
+// flowKey flattens the observable outcome of one flow for comparison.
+func flowKey(f *workload.Flow) string {
+	return fmt.Sprintf("%d %s %s->%s size=%d start=%d done=%v end=%d rx=%d retrans=%d",
+		f.ID, f.Profile, f.Src, f.Dst, f.Size, f.Start, f.Done, f.End, f.BytesRx, f.Retrans)
+}
+
+func runLab(seed int64) []string {
+	nw := lab(1)
+	eng := workload.New(nw, labHosts(), labSpec(), seed)
+	eng.Arm(5 * time.Second)
+	nw.RunFor(60 * time.Second)
+	keys := make([]string, 0, len(eng.Flows()))
+	for _, f := range eng.Flows() {
+		keys = append(keys, flowKey(f))
+	}
+	return keys
+}
+
+func TestEngineDeterministicPerSeed(t *testing.T) {
+	a, b := runLab(7), runLab(7)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different flow counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, flow %d differs:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+	c := runLab(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical flow logs")
+	}
+}
+
+// TestVoiceMux aims several concurrent voice calls at one destination:
+// the per-node stream mux must keep them apart (the old single-receiver
+// registration would have crosstalked or dropped them all but one).
+func TestVoiceMux(t *testing.T) {
+	nw := lab(1)
+	s := labSpec()
+	s.Bulk, s.Interactive, s.RR, s.Voice = 0, 0, 0, 1
+	s.Rate = 6
+	// All flows target b1 by restricting the host set to two nodes...
+	// but the engine needs distinct src/dst, so use a1 and b1 only.
+	eng := workload.New(nw, []string{"a1", "b1"}, s, 3)
+	eng.Arm(2 * time.Second)
+	nw.RunFor(30 * time.Second)
+
+	flows := eng.Flows()
+	if len(flows) < 5 {
+		t.Fatalf("admitted only %d voice flows", len(flows))
+	}
+	for _, f := range flows {
+		if !f.Done {
+			t.Errorf("voice flow %d never completed", f.ID)
+			continue
+		}
+		if f.OnTime == 0 {
+			t.Errorf("voice flow %d delivered no on-time frames (late=%d lost=%d)",
+				f.ID, f.Late, f.Lost)
+		}
+	}
+	sum := eng.Summarize(2 * time.Second)
+	if sum.VoiceOnTimeFrac < 0.99 {
+		t.Errorf("voice on-time fraction %v on an idle lab, want ~1", sum.VoiceOnTimeFrac)
+	}
+}
+
+// TestPreVJEraRetransmits checks the era knob does what E13 relies on:
+// the same overloaded lab retransmits far more in pre-VJ mode and
+// delivers less than its VJ counterpart.
+func TestPreVJEraRetransmits(t *testing.T) {
+	run := func(vj bool) workload.Summary {
+		nw := core.New(1)
+		// A slow serial bottleneck between two LANs.
+		fast := phys.Config{BitsPerSec: 10_000_000, Delay: time.Millisecond, MTU: 1500}
+		slow := phys.Config{BitsPerSec: 256_000, Delay: 5 * time.Millisecond, MTU: 1500, QueueLimit: 8}
+		nw.AddNet("lan1", "10.0.1.0/24", core.LAN, fast)
+		nw.AddNet("lan2", "10.0.2.0/24", core.LAN, fast)
+		nw.AddNet("trunk", "10.0.3.0/30", core.P2P, slow)
+		nw.AddHost("a1", "lan1")
+		nw.AddHost("a2", "lan1")
+		nw.AddHost("b1", "lan2")
+		nw.AddHost("b2", "lan2")
+		nw.AddGateway("g1", "lan1", "trunk")
+		nw.AddGateway("g2", "trunk", "lan2")
+		nw.InstallStaticRoutes()
+		s := workload.DefaultSpec()
+		s.Bulk, s.Interactive, s.RR, s.Voice = 1, 0, 0, 0
+		s.Rate = 6
+		s.MaxBytes = 200_000
+		s.VJ = vj
+		eng := workload.New(nw, []string{"a1", "a2", "b1", "b2"}, s, 11)
+		window := 10 * time.Second
+		eng.Arm(window)
+		nw.RunFor(80 * time.Second)
+		return eng.Summarize(window)
+	}
+	pre, post := run(false), run(true)
+	if pre.Retransmits <= post.Retransmits {
+		t.Errorf("pre-VJ retransmits (%d) not above VJ (%d)", pre.Retransmits, post.Retransmits)
+	}
+	if pre.Retransmits == 0 {
+		t.Error("overloaded pre-VJ run never retransmitted")
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	for _, s := range []workload.Spec{
+		workload.DefaultSpec(),
+		func() workload.Spec {
+			s := workload.DefaultSpec()
+			s.OnOff = true
+			s.VJ = true
+			s.NaiveRTO = true
+			s.Rate = 2.5
+			return s
+		}(),
+	} {
+		got, err := workload.ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Errorf("round trip changed spec:\n in: %+v\nout: %+v", s, got)
+		}
+	}
+	if _, err := workload.ParseSpec("rate=0"); err == nil {
+		t.Error("ParseSpec accepted rate=0")
+	}
+	if _, err := workload.ParseSpec("nonsense=1"); err == nil {
+		t.Error("ParseSpec accepted an unknown key")
+	}
+}
+
+func TestJainFairnessAgainstStats(t *testing.T) {
+	// The engine must hand stats.JainFairness the full admitted
+	// population, zeros included; cross-check on a tiny run.
+	nw := lab(1)
+	eng := workload.New(nw, labHosts(), labSpec(), 5)
+	eng.Arm(2 * time.Second)
+	nw.RunFor(30 * time.Second)
+	sum := eng.Summarize(2 * time.Second)
+	if want := stats.JainFairness(sum.Goodputs); sum.Jain != want {
+		t.Errorf("summary Jain %v != stats.JainFairness %v", sum.Jain, want)
+	}
+}

@@ -21,6 +21,9 @@ go test -tags pooldebug -count=1 -run 'TestCrashRestartSoak|TestPartitionHealTra
 go run ./cmd/experiments -only E11 -runs 2 -faults mixed > /dev/null
 # E12 smoke: a small generated internet through the CLI.
 go run ./cmd/experiments -only E12 -topo 'waxman:gw=16' > /dev/null
+# E13 smoke: the congestion-collapse sweep through the CLI as a
+# 2-replica campaign, with the -workload flag exercised.
+go run ./cmd/experiments -only E13 -runs 2 -workload 'naive=1,alpha=1.1,min=30000,max=2000000' > /dev/null
 # Codec fuzzers, 10s each (go test takes one -fuzz target at a time).
 go test -run '^$' -fuzz FuzzIPv4HeaderRoundTrip -fuzztime 10s ./internal/ipv4/
 go test -run '^$' -fuzz FuzzTCPSegmentRoundTrip -fuzztime 10s ./internal/tcp/

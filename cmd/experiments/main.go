@@ -25,11 +25,18 @@
 // sweep with Van Jacobson congestion control, or
 // -workload "bulk=1,inter=0,rr=0,voice=0,naive=1" for a pure bulk
 // storm. Keys: bulk, inter, rr, voice, rate, alpha, min, max, think_ms,
-// vj, naive, onoff, on_ms, off_ms.
+// vj, naive, ecn, onoff, on_ms, off_ms, cc.
+//
+// -qdisc selects the gateway queue policy: for E13 a single
+// internal/phys policy spec ("droptail", "red:min=64,max=256,maxp=0.1",
+// "ecn"), for E13-T a "+"-separated list restricting the tournament
+// grid. -cc does the same for the host congestion response (naive,
+// tahoe, reno). -leaderboard writes the E13-T campaign's ranked
+// leaderboard as darpanet/tournament/v1 JSON.
 //
 // Usage:
 //
-//	experiments [-seed N] [-only E1,E5] [-runs N] [-parallel N] [-json file] [-faults sched] [-topo spec] [-workload spec] [-metrics]
+//	experiments [-seed N] [-only E1,E5] [-runs N] [-parallel N] [-json file] [-faults sched] [-topo spec] [-workload spec] [-qdisc spec] [-cc list] [-leaderboard file] [-metrics]
 package main
 
 import (
@@ -45,9 +52,37 @@ import (
 	"darpanet/internal/fault"
 	"darpanet/internal/harness"
 	"darpanet/internal/metrics"
+	"darpanet/internal/phys"
+	"darpanet/internal/tcp"
 	"darpanet/internal/topo"
 	"darpanet/internal/workload"
 )
+
+// parsePolicies parses a "+"-separated list of phys policy specs.
+func parsePolicies(arg string) ([]phys.PolicySpec, error) {
+	var out []phys.PolicySpec
+	for _, s := range strings.Split(arg, "+") {
+		p, err := phys.ParsePolicySpec(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// parseCCs parses a "+"-separated list of congestion-response names.
+func parseCCs(arg string) ([]string, error) {
+	var out []string
+	for _, s := range strings.Split(arg, "+") {
+		s = strings.TrimSpace(s)
+		if tcp.CCByName(s) == nil {
+			return nil, fmt.Errorf("-cc %q: want one of %s", s, strings.Join(tcp.CCNames(), ", "))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
 
 // resolveFaults maps the -faults value to an E11 driver: a preset name,
 // the "random" keyword, or a schedule file path.
@@ -79,7 +114,10 @@ func main() {
 	showMetrics := flag.Bool("metrics", false, "after each single-run table, dump the per-layer counter registry as a tree")
 	faults := flag.String("faults", "", "E11 fault schedule: a preset ("+strings.Join(fault.PresetNames(), ", ")+"), 'random', or a schedule file")
 	topoSpec := flag.String("topo", "", "E12 topology spec, 'shape:key=val,...' (shapes: line, ring, tree, transitstub, waxman)")
-	workloadSpec := flag.String("workload", "", "E13 traffic mix, 'key=val,...' (keys: bulk, inter, rr, voice, rate, alpha, min, max, think_ms, vj, naive, onoff, on_ms, off_ms)")
+	workloadSpec := flag.String("workload", "", "E13 traffic mix, 'key=val,...' (keys: bulk, inter, rr, voice, rate, alpha, min, max, think_ms, vj, naive, ecn, onoff, on_ms, off_ms, cc)")
+	qdisc := flag.String("qdisc", "", "gateway queue policy: E13 takes one spec (droptail|red|ecn[:k=v,...]), E13-T a '+'-separated grid restriction")
+	ccFlag := flag.String("cc", "", "host congestion response: E13 takes one name (naive|tahoe|reno), E13-T a '+'-separated grid restriction")
+	leaderboard := flag.String("leaderboard", "", "write the E13-T campaign's ranked leaderboard to this file as darpanet/tournament/v1 JSON")
 	flag.Parse()
 
 	e11Run := exp.RunE11
@@ -99,14 +137,42 @@ func main() {
 		}
 		e12Run = exp.RunE12With(spec)
 	}
+	policies, err := parsePolicies(nonEmpty(*qdisc, "droptail+red+ecn"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ccs, err := parseCCs(nonEmpty(*ccFlag, "naive+tahoe+reno"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	e13Run := exp.RunE13
-	if *workloadSpec != "" {
-		ws, err := workload.ParseSpec(*workloadSpec)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	if *workloadSpec != "" || *qdisc != "" || *ccFlag != "" {
+		ws := exp.E13Workload()
+		if *workloadSpec != "" {
+			if ws, err = workload.ParseSpec(*workloadSpec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
-		e13Run = exp.RunE13With(ws)
+		if *ccFlag != "" {
+			ws.CC = ccs[0] // E13 is a single cell: first named response wins
+			ws.ECN = policies[0].Kind == phys.PolicyECN
+		}
+		e13Run = exp.RunE13Policy(ws, policies[0])
+	}
+
+	e13tRun := exp.RunE13T
+	if *qdisc != "" || *ccFlag != "" {
+		var cells []exp.E13TCell
+		for _, p := range policies {
+			for _, cc := range ccs {
+				cells = append(cells, exp.E13TCell{Policy: p, CC: cc})
+			}
+		}
+		e13tRun = exp.RunE13TGrid(cells, nil, 0, 0)
 	}
 
 	want := map[string]bool{}
@@ -141,6 +207,15 @@ func main() {
 			e.Run = e13Run
 			if *workloadSpec != "" {
 				e.Title += " [-workload " + *workloadSpec + "]"
+			}
+			if *qdisc != "" {
+				e.Title += " [-qdisc " + *qdisc + "]"
+			}
+		}
+		if e.ID == "E13-T" {
+			e.Run = e13tRun
+			if *qdisc != "" || *ccFlag != "" {
+				e.Title += fmt.Sprintf(" [%d-cell grid]", len(policies)*len(ccs))
 			}
 		}
 		start := time.Now()
@@ -204,4 +279,45 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d experiment campaign(s), schema darpanet/campaign/v1)\n", *jsonOut, len(reports))
 	}
+
+	if *leaderboard != "" {
+		var t *harness.Tournament
+		for _, rep := range reports {
+			if rep.ID == "E13-T" {
+				t = harness.BuildTournament(rep)
+				break
+			}
+		}
+		if t == nil || len(t.Entries) == 0 {
+			fmt.Fprintln(os.Stderr, "-leaderboard: no E13-T campaign in this run")
+			os.Exit(1)
+		}
+		f, err := os.Create(*leaderboard)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := harness.WriteTournamentJSON(f, t); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d-cell leaderboard, schema darpanet/tournament/v1)\n", *leaderboard, len(t.Entries))
+		for _, e := range t.Entries {
+			fmt.Printf("  #%d %-18s score %.3f (collapse %.2f, peak %.2f Mb/s, jain %.3f)\n",
+				e.Rank, e.Name, e.Score, e.CollapseRatio, e.PeakGoodputBps/1e6, e.Jain)
+		}
+	}
+}
+
+// nonEmpty returns s, or fallback when s is empty.
+func nonEmpty(s, fallback string) string {
+	if s == "" {
+		return fallback
+	}
+	return s
 }

@@ -59,12 +59,14 @@ func e13Topo() topo.Spec {
 // already doomed.
 const e13GatewayQueue = 512
 
-// RunE13 runs the congestion-collapse sweep with the default workload
-// mix: bulk-dominated, pre-VJ, and naive-RTO — the fixed 1-second
-// no-backoff retransmission timer of the hosts that actually caused the
-// collapse era (adaptive RTO with exponential backoff, though still
-// pre-VJ, already damps the storm enough to blunt the cliff).
-func RunE13(seed int64) Result {
+// E13Workload returns the collapse-era workload mix E13 offers:
+// bulk-dominated, pre-VJ, naive-RTO — the fixed no-backoff
+// retransmission timer of the hosts that actually caused the collapse
+// era (adaptive RTO with exponential backoff, though still pre-VJ,
+// already damps the storm enough to blunt the cliff). The tournament
+// (E13-T) starts from the same mix and swaps only the host congestion
+// response per cell.
+func E13Workload() workload.Spec {
 	ws := workload.DefaultSpec()
 	ws.NaiveRTO = true
 	// Heavier elephants than the default mix: flows that outlive a
@@ -72,32 +74,60 @@ func RunE13(seed int64) Result {
 	// blast and leaves, so an all-mice mix shows saturation, not
 	// collapse.
 	ws.Alpha, ws.MinBytes, ws.MaxBytes = 1.1, 30_000, 2_000_000
-	return runE13(seed, ws, e13Loads, e13Window, e13Drain)
+	return ws
+}
+
+// RunE13 runs the congestion-collapse sweep with the default workload
+// mix and the era's drop-tail gateway queues.
+func RunE13(seed int64) Result {
+	return runE13(seed, E13Workload(), phys.PolicySpec{}, e13Loads, e13Window, e13Drain)
 }
 
 // RunE13With returns an E13 driver with the workload mix replaced — how
 // the -workload flag reshapes the experiment (e.g. vj=1 to rerun the
 // sweep with Van Jacobson's machinery and watch the cliff flatten).
 func RunE13With(ws workload.Spec) func(seed int64) Result {
-	return func(seed int64) Result { return runE13(seed, ws, e13Loads, e13Window, e13Drain) }
+	return RunE13Policy(ws, phys.PolicySpec{})
+}
+
+// RunE13Policy returns an E13 driver with both the workload and the
+// gateway queue policy replaced — how the -qdisc flag turns the
+// collapse experiment into a single tournament cell.
+func RunE13Policy(ws workload.Spec, policy phys.PolicySpec) func(seed int64) Result {
+	return func(seed int64) Result { return runE13(seed, ws, policy, e13Loads, e13Window, e13Drain) }
 }
 
 // RunE13Sweep returns a driver with full control of the sweep — the
 // campaign-determinism tests use a scaled-down variant.
 func RunE13Sweep(ws workload.Spec, loads []float64, window, drain sim.Duration) func(seed int64) Result {
-	return func(seed int64) Result { return runE13(seed, ws, loads, window, drain) }
+	return func(seed int64) Result { return runE13(seed, ws, phys.PolicySpec{}, loads, window, drain) }
 }
 
-func runE13(seed int64, ws workload.Spec, loads []float64, window, drain sim.Duration) Result {
-	table := stats.Table{Header: []string{
-		"offered", "goodput", "flows", "done", "jain", "rto sync", "burst", "fct p50", "retrans"}}
+// e13Point is one load point's outcome.
+type e13Point struct {
+	load float64
+	sum  workload.Summary
+}
 
-	type point struct {
-		load float64
-		sum  workload.Summary
-	}
-	points := make([]point, 0, len(loads))
-	var lastKernel = (*sim.Kernel)(nil)
+// e13Outcome is the collapse-curve reduction shared by E13 and every
+// E13-T tournament cell.
+type e13Outcome struct {
+	points        []e13Point
+	peakGoodput   float64
+	kneeLoad      float64
+	collapseRatio float64
+	lastKernel    *sim.Kernel
+}
+
+// e13Sweep offers the load sweep to a fresh generated internet per load
+// point, with the given gateway queue policy installed, and reduces the
+// curve. The topology depends only on the campaign seed, and the
+// arrival process per load point only on (seed, point index) — so two
+// sweeps at the same seed differing only in policy or host response see
+// identical topology and identical offered traffic, which is what makes
+// tournament cells comparable.
+func e13Sweep(seed int64, ws workload.Spec, policy phys.PolicySpec, loads []float64, window, drain sim.Duration) e13Outcome {
+	out := e13Outcome{points: make([]e13Point, 0, len(loads))}
 
 	// bpsPerUnitRate converts a target offered load to an arrival rate:
 	// OfferedBps is linear in Rate (duty cycle included), so one probe
@@ -111,20 +141,43 @@ func runE13(seed int64, ws workload.Spec, loads []float64, window, drain sim.Dur
 		nw, m := topo.Generate(e13Topo(), seed)
 		nw.InstallStaticRoutes()
 		for _, g := range m.GatewayNames() {
-			for _, ifc := range nw.Node(g).Interfaces() {
-				ifc.NIC.SetQdisc(phys.NewFIFO(e13GatewayQueue))
-			}
+			nw.Node(g).InstallQueuePolicy(e13GatewayQueue, policy)
 		}
 		spec := ws.WithRate(load * e13RefBps / bpsPerUnitRate)
 		eng := workload.New(nw, m.HostNames(), spec, seed*1000+int64(i))
 		eng.Arm(window)
 		nw.RunFor(window + drain)
 		sum := eng.Summarize(window)
-		points = append(points, point{load, sum})
-		lastKernel = nw.Kernel()
+		out.points = append(out.points, e13Point{load, sum})
+		out.lastKernel = nw.Kernel()
+	}
 
+	// The collapse headline: where goodput peaks, and how far it has
+	// fallen by the top of the sweep. collapse_ratio < 1 is the cliff.
+	for _, p := range out.points {
+		if p.sum.GoodputBps > out.peakGoodput {
+			out.peakGoodput, out.kneeLoad = p.sum.GoodputBps, p.load
+		}
+	}
+	last := out.points[len(out.points)-1]
+	if out.peakGoodput > 0 {
+		out.collapseRatio = last.sum.GoodputBps / out.peakGoodput
+	}
+	return out
+}
+
+func runE13(seed int64, ws workload.Spec, policy phys.PolicySpec, loads []float64, window, drain sim.Duration) Result {
+	out := e13Sweep(seed, ws, policy, loads, window, drain)
+	points, lastKernel := out.points, out.lastKernel
+	peakGoodput, kneeLoad, collapseRatio := out.peakGoodput, out.kneeLoad, out.collapseRatio
+	last := points[len(points)-1]
+
+	table := stats.Table{Header: []string{
+		"offered", "goodput", "flows", "done", "jain", "rto sync", "burst", "fct p50", "retrans"}}
+	for _, p := range points {
+		sum := p.sum
 		table.AddRow(
-			fmt.Sprintf("%.2fx T1", load),
+			fmt.Sprintf("%.2fx T1", p.load),
 			stats.HumanRate(sum.GoodputBps),
 			fmt.Sprint(sum.Started),
 			fmt.Sprintf("%d (%.0f%%)", sum.Completed, 100*ratio(sum.Completed, sum.Started)),
@@ -134,20 +187,6 @@ func runE13(seed int64, ws workload.Spec, loads []float64, window, drain sim.Dur
 			fmt.Sprintf("%.2fs", sum.FCT.Percentile(50)),
 			fmt.Sprint(sum.Retransmits),
 		)
-	}
-
-	// The collapse headline: where goodput peaks, and how far it has
-	// fallen by the top of the sweep. collapse_ratio < 1 is the cliff.
-	peakGoodput, kneeLoad := 0.0, 0.0
-	for _, p := range points {
-		if p.sum.GoodputBps > peakGoodput {
-			peakGoodput, kneeLoad = p.sum.GoodputBps, p.load
-		}
-	}
-	last := points[len(points)-1]
-	collapseRatio := 0.0
-	if peakGoodput > 0 {
-		collapseRatio = last.sum.GoodputBps / peakGoodput
 	}
 
 	headline := fmt.Sprintf("goodput peaks at %.2fx T1 then falls to %.0f%% of peak at %.2fx — the network does more work to deliver less, the resource-management debt of the datagram architecture.",

@@ -1,0 +1,164 @@
+package exp
+
+import (
+	"fmt"
+
+	"darpanet/internal/phys"
+	"darpanet/internal/sim"
+	"darpanet/internal/stats"
+	"darpanet/internal/tcp"
+	"darpanet/internal/workload"
+)
+
+// E13-T — the policy tournament. E13 shows what the 1988 architecture's
+// unsolved resource-management problem cost; this experiment searches
+// the two policy spaces the architecture left open — the gateway's
+// queue discipline and the host's congestion response — by running
+// every (policy × response) cell against the same generated internet
+// and the same offered traffic, then scoring each cell on the collapse
+// curve it produces. The grid is the era's actual design space:
+// drop-tail vs RED early drop vs ECN marking at the gateway, and the
+// pre-1988 window-blaster vs Tahoe vs Reno(+ECN) at the host.
+
+// E13TCell is one tournament cell: a gateway queue policy paired with a
+// host congestion response.
+type E13TCell struct {
+	Policy phys.PolicySpec
+	CC     string
+}
+
+// Name renders the cell as "<policy-kind>/<cc>", the key used in
+// metric paths and the leaderboard.
+func (c E13TCell) Name() string {
+	kind := c.Policy.Kind
+	if kind == "" {
+		kind = phys.PolicyDropTail
+	}
+	return kind + "/" + c.CC
+}
+
+// workload maps the cell to host behavior: the naive response is the
+// full pre-1988 host (go-back-N recovery, fixed no-backoff timer),
+// while tahoe and reno ride the adaptive-RTO machinery. Hosts offer
+// ECN whenever the gateways can mark — only reno answers the echo, so
+// an ecn/naive cell measures marking wasted on deaf hosts.
+func (c E13TCell) workload() workload.Spec {
+	ws := E13Workload()
+	if c.CC == tcp.CCNaive {
+		ws.VJ, ws.NaiveRTO = false, true
+	} else {
+		ws.VJ, ws.NaiveRTO = true, false
+	}
+	ws.CC = c.CC
+	ws.ECN = c.Policy.Kind == phys.PolicyECN
+	return ws
+}
+
+// E13TDefaultGrid is the full 3×3 tournament: every queue policy
+// against every congestion response.
+func E13TDefaultGrid() []E13TCell {
+	var cells []E13TCell
+	for _, kind := range []string{phys.PolicyDropTail, phys.PolicyRED, phys.PolicyECN} {
+		for _, cc := range []string{tcp.CCNaive, tcp.CCTahoe, tcp.CCReno} {
+			cells = append(cells, E13TCell{Policy: phys.PolicySpec{Kind: kind}, CC: cc})
+		}
+	}
+	return cells
+}
+
+// e13tLoads is the tournament's offered-load sweep: below the knee, at
+// the knee drop-tail/naive shows, and twice past it — E13's full curve
+// shows the cliff only bites beyond 16x, so the sweep must reach 32x
+// for collapse ratios to separate the cells. Four points per cell keep
+// the full 9-cell grid affordable.
+var e13tLoads = []float64{1, 4, 16, 32}
+
+// The tournament measures over E13's own window: the retransmission
+// storm that produces the cliff takes ~10 simulated seconds to build,
+// so a shorter window under-reports the collapse and flattens the grid.
+const (
+	e13tWindow = e13Window
+	e13tDrain  = e13Drain
+)
+
+// RunE13T runs the default 3×3 tournament.
+func RunE13T(seed int64) Result {
+	return runE13T(seed, E13TDefaultGrid(), e13tLoads, e13tWindow, e13tDrain)
+}
+
+// RunE13TGrid returns a tournament driver over a custom grid — how the
+// -qdisc/-cc flags restrict the cells, and how the CI smoke runs a 2×2
+// grid on a short sweep.
+func RunE13TGrid(cells []E13TCell, loads []float64, window, drain sim.Duration) func(seed int64) Result {
+	if loads == nil {
+		loads = e13tLoads
+	}
+	if window == 0 {
+		window = e13tWindow
+	}
+	if drain == 0 {
+		drain = e13tDrain
+	}
+	return func(seed int64) Result { return runE13T(seed, cells, loads, window, drain) }
+}
+
+func runE13T(seed int64, cells []E13TCell, loads []float64, window, drain sim.Duration) Result {
+	table := stats.Table{Header: []string{
+		"policy", "cc", "collapse", "peak goodput", "knee", "jain", "fct p99", "done"}}
+
+	res := Result{
+		ID:    "E13-T",
+		Title: "Policy tournament: gateway queue policy x host congestion response on the collapse curve",
+	}
+
+	type scored struct {
+		cell E13TCell
+		out  e13Outcome
+	}
+	ran := make([]scored, 0, len(cells))
+	for _, cell := range cells {
+		// Every cell sees the same seed: identical topology, identical
+		// arrival process — only the policies differ.
+		out := e13Sweep(seed, cell.workload(), cell.Policy, loads, window, drain)
+		ran = append(ran, scored{cell, out})
+
+		top := out.points[len(out.points)-1].sum
+		table.AddRow(
+			cell.Policy.String(),
+			cell.CC,
+			fmt.Sprintf("%.2f", out.collapseRatio),
+			stats.HumanRate(out.peakGoodput),
+			fmt.Sprintf("%.1fx", out.kneeLoad),
+			fmt.Sprintf("%.3f", top.Jain),
+			fmt.Sprintf("%.2fs", top.FCT.Percentile(99)),
+			fmt.Sprintf("%.0f%%", 100*ratio(top.Completed, top.Started)),
+		)
+
+		pre := "t/" + cell.Name() + "/"
+		res.AddMetric(pre+"collapse_ratio", "", out.collapseRatio)
+		res.AddMetric(pre+"peak_goodput", "bps", out.peakGoodput)
+		res.AddMetric(pre+"knee_load", "xT1", out.kneeLoad)
+		res.AddMetric(pre+"jain", "", top.Jain)
+		res.AddMetric(pre+"fct_p99", "s", top.FCT.Percentile(99))
+		res.AddMetric(pre+"done", "", ratio(top.Completed, top.Started))
+	}
+	res.Table = table
+
+	// The headline: best and worst collapse ratio across the grid.
+	best, worst := ran[0], ran[0]
+	for _, s := range ran[1:] {
+		if s.out.collapseRatio > best.out.collapseRatio {
+			best = s
+		}
+		if s.out.collapseRatio < worst.out.collapseRatio {
+			worst = s
+		}
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"%s holds %.0f%% of peak goodput at %.0fx T1 where %s holds %.0f%% — the resource-management answer the 1988 architecture had room for but did not ship.",
+		best.cell.Name(), 100*best.out.collapseRatio, loads[len(loads)-1],
+		worst.cell.Name(), 100*worst.out.collapseRatio))
+	res.Notes = append(res.Notes,
+		"every cell sees the same topology and the same offered traffic per seed; rank cells with the campaign leaderboard (darpanet/tournament/v1), not single-seed eyeballing.")
+	return res
+}

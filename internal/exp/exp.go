@@ -148,6 +148,7 @@ var All = []Experiment{
 	{"E11", "Recovery under scripted failure: fault injection, reconvergence, blackout loss", RunE11},
 	{"E12", "Scale: convergence, forwarding cost and conservation on a generated internet", RunE12},
 	{"E13", "Congestion collapse: goodput vs offered load through the cliff", RunE13},
+	{"E13-T", "Policy tournament: gateway queue policy x host congestion response", RunE13T},
 }
 
 // ByID returns the experiment with the given ID.

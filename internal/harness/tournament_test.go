@@ -1,0 +1,113 @@
+package harness_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"darpanet/internal/exp"
+	"darpanet/internal/harness"
+	"darpanet/internal/phys"
+	"darpanet/internal/tcp"
+)
+
+// tournamentSmokeGrid is the 2×2 corner of the E13-T grid the CI smoke
+// runs: the era's status quo and the full RFC 3168 answer.
+func tournamentSmokeGrid() []exp.E13TCell {
+	var cells []exp.E13TCell
+	for _, kind := range []string{phys.PolicyDropTail, phys.PolicyECN} {
+		for _, cc := range []string{tcp.CCNaive, tcp.CCReno} {
+			cells = append(cells, exp.E13TCell{Policy: phys.PolicySpec{Kind: kind}, CC: cc})
+		}
+	}
+	return cells
+}
+
+// TestTournamentJSONByteIdentical is the leaderboard's acceptance
+// check: a tournament campaign aggregated at different worker counts
+// must distill to byte-identical darpanet/tournament/v1 JSON. The
+// leaderboard is built purely from campaign-mean metrics, so this
+// follows from campaign determinism — the test pins that the scoring
+// and ranking layer does not break it (no map-order or float-ordering
+// leaks).
+func TestTournamentJSONByteIdentical(t *testing.T) {
+	const runs = 3
+	run := exp.RunE13TGrid(tournamentSmokeGrid(), []float64{1, 6}, 4*time.Second, 4*time.Second)
+	var want, wantReport []byte
+	for _, workers := range []int{1, 3} {
+		rep := harness.Campaign{Runs: runs, Parallel: workers, BaseSeed: 1988}.
+			RunFunc("E13-T", "policy tournament smoke", run)
+		if len(rep.Failures) > 0 {
+			t.Fatalf("workers=%d: replica failures: %+v", workers, rep.Failures)
+		}
+		var repBuf bytes.Buffer
+		if err := harness.WriteJSON(&repBuf, 1988, runs, []*harness.Report{rep}); err != nil {
+			t.Fatal(err)
+		}
+		tour := harness.BuildTournament(rep)
+		if len(tour.Entries) != 4 {
+			t.Fatalf("workers=%d: %d leaderboard entries, want 4", workers, len(tour.Entries))
+		}
+		var buf bytes.Buffer
+		if err := harness.WriteTournamentJSON(&buf, tour); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want, wantReport = append([]byte(nil), buf.Bytes()...), append([]byte(nil), repBuf.Bytes()...)
+		} else {
+			if !bytes.Equal(wantReport, repBuf.Bytes()) {
+				t.Fatal("campaign JSON diverged between worker counts")
+			}
+			if !bytes.Equal(want, buf.Bytes()) {
+				t.Fatal("tournament JSON diverged between worker counts")
+			}
+		}
+	}
+}
+
+// TestBuildTournamentRanking pins the scoring layer against a
+// hand-built report: score weights, goodput/FCT normalization, the
+// zero-FCT guard, rank assignment and the name tie-break.
+func TestBuildTournamentRanking(t *testing.T) {
+	rep := &harness.Report{
+		ID: "E13-T", Title: "fixture", BaseSeed: 7, Runs: 1,
+		Metrics: []harness.MetricSummary{
+			// Cell A: perfect collapse, best goodput, perfect fairness.
+			{Name: "t/red/reno/collapse_ratio", Mean: 1},
+			{Name: "t/red/reno/peak_goodput", Mean: 2e6},
+			{Name: "t/red/reno/jain", Mean: 1},
+			{Name: "t/red/reno/fct_p99", Mean: 2},
+			{Name: "t/red/reno/done", Mean: 0.9},
+			// Cell B: half the goodput, deep collapse, no completions at
+			// the top load (fct 0 must score zero, not blow up).
+			{Name: "t/droptail/naive/collapse_ratio", Mean: 0.5},
+			{Name: "t/droptail/naive/peak_goodput", Mean: 1e6},
+			{Name: "t/droptail/naive/jain", Mean: 0.5},
+			{Name: "t/droptail/naive/fct_p99", Mean: 0},
+			{Name: "t/droptail/naive/done", Mean: 0},
+			// Not a tournament metric: must be ignored.
+			{Name: "peak_goodput", Mean: 9e9},
+			{Name: "t/odd/shape", Mean: 1},
+		},
+	}
+	tour := harness.BuildTournament(rep)
+	if tour.Schema != "darpanet/tournament/v1" || len(tour.Entries) != 2 {
+		t.Fatalf("tournament = %+v", tour)
+	}
+	a, b := tour.Entries[0], tour.Entries[1]
+	if a.Name != "red/reno" || a.Rank != 1 || b.Name != "droptail/naive" || b.Rank != 2 {
+		t.Fatalf("ranking = %s(#%d), %s(#%d)", a.Name, a.Rank, b.Name, b.Rank)
+	}
+	// A: 0.45·1 + 0.25·1 + 0.20·1 + 0.10·(2/2) = 1.0
+	if math.Abs(a.Score-1) > 1e-12 {
+		t.Fatalf("score A = %v, want 1", a.Score)
+	}
+	// B: 0.45·0.5 + 0.25·0.5 + 0.20·0.5 + 0.10·0 = 0.45
+	if math.Abs(b.Score-0.45) > 1e-12 {
+		t.Fatalf("score B = %v, want 0.45", b.Score)
+	}
+	if a.Policy != "red" || a.CC != "reno" || b.FCTp99 != 0 {
+		t.Fatalf("entry fields: %+v %+v", a, b)
+	}
+}

@@ -209,10 +209,7 @@ func DecrementTTL(raw []byte) bool {
 	sum := uint32(binary.BigEndian.Uint16(raw[10:])) + 0x0100
 	sum += sum >> 16
 	binary.BigEndian.PutUint16(raw[10:], uint16(sum))
-	if raw[8] == 0 {
-		return false
-	}
-	return true
+	return raw[8] != 0
 }
 
 // String formats the header compactly for traces.

@@ -91,6 +91,124 @@ func TestForwardHotPathZeroAlloc(t *testing.T) {
 	}
 }
 
+// benchREDTopo is benchTopo with a rate-limited egress trunk and RED on
+// the gateway. On benchTopo's infinitely fast links the transmitter is
+// never busy, so the qdisc is never consulted; here h1's bursts pile up
+// behind gw's 8 Mb/s trunk and every queued frame runs the policy's
+// EWMA update and early-drop decision.
+func benchREDTopo() (*sim.Kernel, *Node, []*phys.PolicyQdisc, *uint64) {
+	k := sim.NewKernel(1)
+	l1 := phys.NewP2P(k, "l1", phys.Config{MTU: 1500})
+	l2 := phys.NewP2P(k, "l2", phys.Config{MTU: 1500, BitsPerSec: 8_000_000})
+
+	h1 := NewNode(k, "h1")
+	gw := NewNode(k, "gw")
+	gw.Forwarding = true
+	h2 := NewNode(k, "h2")
+
+	net1 := ipv4.MustParsePrefix("10.0.1.0/24")
+	net2 := ipv4.MustParsePrefix("10.0.2.0/24")
+	i1 := h1.AttachInterface(l1, net1.Host(1), net1)
+	g1 := gw.AttachInterface(l1, net1.Host(254), net1)
+	g2 := gw.AttachInterface(l2, net2.Host(254), net2)
+	i2 := h2.AttachInterface(l2, net2.Host(1), net2)
+	i1.AddNeighbor(g1.Addr, g1.NIC.Addr())
+	g1.AddNeighbor(i1.Addr, i1.NIC.Addr())
+	g2.AddNeighbor(i2.Addr, i2.NIC.Addr())
+	i2.AddNeighbor(g2.Addr, g2.NIC.Addr())
+	h1.Table.Add(Route{Prefix: ipv4.MustParsePrefix("0.0.0.0/0"), Via: g1.Addr, IfIndex: 0, Source: SourceStatic})
+	h2.Table.Add(Route{Prefix: ipv4.MustParsePrefix("0.0.0.0/0"), Via: g2.Addr, IfIndex: 0, Source: SourceStatic})
+
+	// Wq=1 tracks the burst depth instantly, so the thresholds bite
+	// within a single burst and the probabilistic branch really runs.
+	qs := gw.InstallQueuePolicy(128, phys.PolicySpec{
+		Kind: phys.PolicyRED, MinTh: 16, MaxTh: 64, MaxP: 0.1, Wq: 1})
+
+	var delivered uint64
+	h2.RegisterProtocol(200, func(h ipv4.Header, p []byte) { delivered++ })
+	return k, h1, qs, &delivered
+}
+
+const redBurst = 32
+
+// redConservation asserts every datagram offered was either delivered
+// or accounted as a policy drop — RED drops by design, so conservation
+// replaces the exact delivery count of the drop-free benchmarks.
+func redConservation(t testing.TB, qs []*phys.PolicyQdisc, delivered, sent uint64) {
+	t.Helper()
+	drops := uint64(0)
+	for _, q := range qs {
+		st := q.Stats()
+		drops += st.TailDrops + st.EarlyDrops
+	}
+	if delivered+drops != sent {
+		t.Fatalf("conservation: delivered %d + dropped %d != sent %d", delivered, drops, sent)
+	}
+	if drops == 0 {
+		t.Fatal("RED never dropped: the policy branch was not exercised")
+	}
+}
+
+// BenchmarkForwardHotPathREDPolicy measures the forwarding path through
+// a congested RED gateway: each iteration bursts 32 datagrams into the
+// rate-limited trunk, so most of them traverse PolicyQdisc.Enqueue —
+// EWMA update, drop-probability ramp, rng coin flip — before the kernel
+// drains the queue. The benchguard baseline pins this at 0 allocs/op:
+// the policy layer must not cost the pooled datagram path its tentpole
+// property.
+func BenchmarkForwardHotPathREDPolicy(b *testing.B) {
+	k, h1, qs, delivered := benchREDTopo()
+	payload := make([]byte, 512)
+	hdr := ipv4.Header{Dst: ipv4.MustParsePrefix("10.0.2.0/24").Host(1), Proto: 200}
+
+	for i := 0; i < 64; i++ {
+		for j := 0; j < redBurst; j++ {
+			if err := h1.Send(hdr, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		k.Run()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < redBurst; j++ {
+			h1.Send(hdr, payload)
+		}
+		k.Run()
+	}
+	b.StopTimer()
+	redConservation(b, qs, *delivered, uint64(64+b.N)*redBurst)
+}
+
+// TestForwardHotPathREDZeroAlloc enforces the RED benchmark's claim in
+// a plain test, like TestForwardHotPathZeroAlloc does for drop-tail.
+func TestForwardHotPathREDZeroAlloc(t *testing.T) {
+	k, h1, qs, delivered := benchREDTopo()
+	payload := make([]byte, 512)
+	hdr := ipv4.Header{Dst: ipv4.MustParsePrefix("10.0.2.0/24").Host(1), Proto: 200}
+	rounds := uint64(64)
+	for i := 0; i < 64; i++ {
+		for j := 0; j < redBurst; j++ {
+			if err := h1.Send(hdr, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k.Run()
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		for j := 0; j < redBurst; j++ {
+			h1.Send(hdr, payload)
+		}
+		k.Run()
+		rounds++
+	})
+	if avg != 0 {
+		t.Fatalf("RED forwarding path allocates %.1f objects per burst, want 0", avg)
+	}
+	redConservation(t, qs, *delivered, rounds*redBurst)
+}
+
 // BenchmarkSingleHopSend measures origination + local delivery without a
 // gateway in between (two hosts, one link).
 func BenchmarkSingleHopSend(b *testing.B) {

@@ -1,0 +1,35 @@
+package stack
+
+// Gateway queue-policy installation. phys.PolicyQdisc is IP-ignorant —
+// its congestion-marking hook is an injected callback — so this is
+// where the layers meet: the stack supplies ipv4.SetCE (in-place CE
+// mark with incremental checksum patch) and the kernel's RNG, and
+// registers the policy counters under <node>/aqm/ in the kernel's
+// metrics registry.
+
+import (
+	"darpanet/internal/ipv4"
+	"darpanet/internal/metrics"
+	"darpanet/internal/phys"
+)
+
+// InstallQueuePolicy replaces the queueing discipline on every one of
+// the node's interfaces with a policy queue of the given limit, and
+// returns the installed queues (one per interface, in interface
+// order). For the ecn kind the marker is ipv4.SetCE, so only datagrams
+// whose transport negotiated ECN are marked; the rest fall back to
+// early drop.
+func (n *Node) InstallQueuePolicy(limit int, spec phys.PolicySpec) []*phys.PolicyQdisc {
+	reg := metrics.For(n.kernel)
+	qs := make([]*phys.PolicyQdisc, 0, len(n.ifaces))
+	for _, ifc := range n.ifaces {
+		q := phys.NewPolicyQdisc(limit, spec, n.kernel.Rand(), markCE)
+		q.RegisterMetrics(reg, n.name)
+		ifc.NIC.SetQdisc(q)
+		qs = append(qs, q)
+	}
+	return qs
+}
+
+// markCE adapts ipv4.SetCE to the phys marker signature.
+func markCE(payload []byte) bool { return ipv4.SetCE(payload) }

@@ -60,11 +60,23 @@ type Conn struct {
 	rttStart    sim.Time
 	retransHit  bool // a retransmission happened since last sample (Karn)
 
-	// Congestion control.
+	// Congestion control. The response policy is pluggable (cc.go); the
+	// window state it drives lives here so responses stay stateless.
+	cc             CCResponse
 	cwnd           int
 	ssthresh       int
 	dupAcks        int
 	inFastRecovery bool
+
+	// ECN (RFC 3168). ecnOK is set when the SYN exchange negotiated
+	// marking; ecnEcho makes the receiver stamp ECE on outgoing ACKs
+	// until the sender answers with CWR; cwrDue marks that answer
+	// pending; ecnRecover is the once-per-window reduction gate (acks at
+	// or below it carry echoes of congestion already responded to).
+	ecnOK      bool
+	ecnEcho    bool
+	cwrDue     bool
+	ecnRecover uint32
 
 	// Delayed ACK.
 	delackTimer sim.Timer
@@ -123,7 +135,8 @@ func newConn(t *Transport, local, remote Endpoint, opts Options) *Conn {
 	if opts.FixedRTO > 0 {
 		c.rto = opts.FixedRTO
 	}
-	c.cwnd = c.opts.MSS * 2
+	c.cc = ccForOptions(opts)
+	c.cc.OnConnect(c)
 	c.rexmitFn = c.rexmitTimeout
 	c.persistFn = c.persistFire
 	c.delackFn = c.delackFire
@@ -276,6 +289,7 @@ func (c *Conn) startActiveOpen() {
 	c.iss = c.k.Rand().Uint32()
 	c.sndUna, c.sndNxt = c.iss, c.iss
 	c.rtoRecover = c.iss
+	c.ecnRecover = c.iss
 	c.setState(StateSynSent)
 	c.sendSYN(false)
 	c.armRexmit()
@@ -291,6 +305,10 @@ func (c *Conn) startPassiveOpen(syn *segment) {
 	c.iss = c.k.Rand().Uint32()
 	c.sndUna, c.sndNxt = c.iss, c.iss
 	c.rtoRecover = c.iss
+	c.ecnRecover = c.iss
+	// RFC 3168 negotiation: an ECN-setup SYN carries ECE|CWR; accept
+	// only if our own options ask for marking too.
+	c.ecnOK = c.opts.ECN && syn.flags&flagECE != 0 && syn.flags&flagCWR != 0
 	c.sndWnd = int(syn.wnd)
 	c.sndWl1, c.sndWl2 = syn.seq, 0
 	c.setState(StateSynRcvd)
@@ -308,6 +326,11 @@ func (c *Conn) sendSYN(withACK bool) {
 	if withACK {
 		s.flags |= flagACK
 		s.ack = c.rcvNxt
+		if c.ecnOK {
+			s.flags |= flagECE // ECN-setup SYN-ACK: ECE alone
+		}
+	} else if c.opts.ECN {
+		s.flags |= flagECE | flagCWR // ECN-setup SYN
 	}
 	if c.sndNxt == c.iss {
 		c.sndNxt = c.iss + 1
@@ -356,6 +379,21 @@ func (c *Conn) segmentArrives(seg *segment) {
 		c.t.sendRST(c.local, c.remote, seg)
 		c.teardown(ErrReset)
 		return
+	}
+
+	// ECN receiver side (RFC 3168 §6.1): a CWR flag acknowledges our
+	// echo and stops it; a CE mark on the datagram starts (or restarts)
+	// echoing ECE on every outgoing ACK. CWR is processed first so a
+	// segment that is both CWR-stamped and freshly CE-marked still
+	// signals the new congestion event.
+	if c.ecnOK {
+		if seg.flags&flagCWR != 0 {
+			c.ecnEcho = false
+		}
+		if seg.ce {
+			c.stats.CEMarksSeen++
+			c.ecnEcho = true
+		}
 	}
 
 	// 4. ACK processing.
@@ -437,6 +475,10 @@ func (c *Conn) synSentInput(seg *segment) {
 	if !seg.syn() {
 		return
 	}
+	// RFC 3168: an ECN-setup SYN-ACK carries ECE alone. (A simultaneous
+	// open's SYN carries ECE|CWR and fails this test: negotiation simply
+	// degrades to no marking.)
+	c.ecnOK = c.opts.ECN && seg.flags&flagECE != 0 && seg.flags&flagCWR == 0
 	c.irs = seg.seq
 	c.rcvNxt = seg.seq + 1
 	c.rcvAdv = c.rcvNxt + uint32(c.opts.WindowSize)
@@ -507,6 +549,17 @@ func (c *Conn) processAck(seg *segment) {
 		c.sendACK()
 		return
 	}
+	// ECN sender side: the peer is echoing a CE mark. Respond at most
+	// once per window — acks at or below ecnRecover echo congestion the
+	// window already absorbed — then owe the peer a CWR.
+	if c.ecnOK && seg.flags&flagECE != 0 {
+		c.stats.ECEsReceived++
+		if seqGT(ack, c.ecnRecover) {
+			c.cc.OnECE(c)
+			c.ecnRecover = c.sndNxt
+			c.cwrDue = true
+		}
+	}
 	if seqGT(ack, c.sndUna) {
 		acked := int(ack - c.sndUna)
 		c.ackAdvance(ack)
@@ -526,7 +579,7 @@ func (c *Conn) processAck(seg *segment) {
 			c.retransmitOldest(false)
 		}
 		c.dupAcks = 0
-		c.congestionOnAck(acked)
+		c.cc.OnAck(c, acked)
 		if c.sndUna == c.sndNxt {
 			c.cancelRexmit()
 		} else {
@@ -540,9 +593,7 @@ func (c *Conn) processAck(seg *segment) {
 		// Pure duplicate ACK.
 		c.stats.DupAcksReceived++
 		c.dupAcks++
-		if !c.opts.NoCongestionControl {
-			c.fastRetransmitCheck()
-		}
+		c.cc.OnDupAck(c)
 	}
 	// Window update (RFC 793 p.72).
 	if seqLT(c.sndWl1, seg.seq) || (c.sndWl1 == seg.seq && seqLEQ(c.sndWl2, ack)) {
@@ -624,43 +675,6 @@ func (c *Conn) clampRTO() {
 	}
 	if c.rto > sim.Duration(maxRTO) {
 		c.rto = sim.Duration(maxRTO)
-	}
-}
-
-// --- congestion control ----------------------------------------------------
-
-func (c *Conn) congestionOnAck(acked int) {
-	if c.opts.NoCongestionControl {
-		return
-	}
-	if c.inFastRecovery {
-		// New data acked: leave fast recovery.
-		c.cwnd = c.ssthresh
-		c.inFastRecovery = false
-		return
-	}
-	if c.cwnd < c.ssthresh {
-		c.cwnd += min(acked, c.opts.MSS) // slow start
-	} else {
-		c.cwnd += max(1, c.opts.MSS*c.opts.MSS/c.cwnd) // congestion avoidance
-	}
-	if c.cwnd > 1<<24 {
-		c.cwnd = 1 << 24
-	}
-}
-
-func (c *Conn) fastRetransmitCheck() {
-	switch {
-	case c.dupAcks == 3:
-		flight := int(c.sndNxt - c.sndUna)
-		c.ssthresh = max(flight/2, 2*c.opts.MSS)
-		c.retransmitOldest(true)
-		c.cwnd = c.ssthresh + 3*c.opts.MSS
-		c.inFastRecovery = true
-		c.stats.FastRetransmits++
-	case c.dupAcks > 3 && c.inFastRecovery:
-		c.cwnd += c.opts.MSS
-		c.output()
 	}
 }
 
@@ -861,10 +875,7 @@ func (c *Conn) icmpError(e stackIcmpError) {
 	}
 	if e.Type == icmpTypeSourceQuench {
 		if c.opts.ReactToSourceQuench && c.state == StateEstablished {
-			flight := int(c.sndNxt - c.sndUna)
-			c.ssthresh = max(flight/2, 2*c.opts.MSS)
-			c.cwnd = c.mss()
-			c.inFastRecovery = false
+			c.cc.OnQuench(c)
 			c.stats.SourceQuenches++
 		}
 		return

@@ -19,7 +19,19 @@ type Options struct {
 	// NoCongestionControl disables slow start, congestion avoidance,
 	// fast retransmit and fast recovery — the pre-1988 Internet of the
 	// paper's era (experiment E10). The zero value keeps them on.
+	// Shorthand for Congestion: "naive"; an explicit Congestion name
+	// wins.
 	NoCongestionControl bool
+	// Congestion names the congestion-response policy (cc.go): "naive",
+	// "tahoe", or "reno". Empty selects reno, or naive when
+	// NoCongestionControl is set.
+	Congestion string
+	// ECN offers RFC 3168 explicit congestion notification on the SYN
+	// exchange. When both ends agree, data segments carry ECT in the IP
+	// TOS octet, gateway CE marks are echoed back with the ECE flag, and
+	// the congestion response treats the echo as a loss-free congestion
+	// signal (only reno responds).
+	ECN bool
 	// NoRepacketize forces retransmissions to repeat their original
 	// packet boundaries, as a packet-sequenced protocol would. The zero
 	// value lets retransmissions re-slice the byte stream into maximal
@@ -142,4 +154,7 @@ type Stats struct {
 	RTO              sim.Duration // current retransmission timeout
 	ZeroWindowProbes uint64
 	SourceQuenches   uint64 // quenches honoured (Options.ReactToSourceQuench)
+	CEMarksSeen      uint64 // received segments carrying a gateway CE mark
+	ECEsReceived     uint64 // ACKs echoing congestion back to this sender
+	CWRsSent         uint64 // window reductions acknowledged to the peer
 }

@@ -94,8 +94,11 @@ func (c *Conn) output() {
 			avail = 0
 		}
 		flight := int(c.sndNxt - c.sndUna)
+		// The congestion response always has a window; the naive
+		// pre-1988 response pins it above any flow-control window, so
+		// this min never binds for it.
 		wnd := c.sndWnd
-		if !c.opts.NoCongestionControl && c.cwnd < wnd {
+		if c.cwnd < wnd {
 			wnd = c.cwnd
 		}
 		usable := wnd - flight
@@ -161,6 +164,14 @@ func (c *Conn) sendData(seq uint32, payload []byte, retrans bool) {
 		s.flags |= flagPSH
 	}
 	s.payload = payload
+	if c.ecnEcho {
+		s.flags |= flagECE
+	}
+	if c.cwrDue {
+		s.flags |= flagCWR
+		c.cwrDue = false
+		c.stats.CWRsSent++
+	}
 	c.cancelDelack()
 	c.ackPending = 0
 	c.transmit(&s)
@@ -182,12 +193,20 @@ func (c *Conn) transmit(s *segment) {
 	c.stats.SegsSent++
 	c.t.node.Send(ipv4.Header{
 		Src: c.local.Addr, Dst: c.remote.Addr,
-		Proto: ipv4.ProtoTCP, TOS: c.tos(),
+		Proto: ipv4.ProtoTCP, TOS: c.tosFor(s),
 	}, s.marshalInto(&c.t.txScratch, c.local.Addr, c.remote.Addr))
 }
 
-func (c *Conn) tos() uint8 {
-	return c.opts.TOS
+// tosFor stamps the IP TOS octet: the configured precedence bits, plus
+// ECT on data segments of an ECN connection (RFC 3168 sets ECT only on
+// segments a gateway may usefully mark — not on SYNs, RSTs, or pure
+// ACKs, whose loss or marking the transport cannot signal back).
+func (c *Conn) tosFor(s *segment) uint8 {
+	tos := c.opts.TOS
+	if c.ecnOK && len(s.payload) > 0 && s.flags&(flagSYN|flagRST) == 0 {
+		tos |= ipv4.ECT0
+	}
+	return tos
 }
 
 // sendACK emits an immediate pure ACK (also used as the resynchronizing
@@ -203,6 +222,9 @@ func (c *Conn) sendACK() {
 		seq: c.sndNxt, ack: c.rcvNxt,
 		flags: flagACK,
 		wnd:   uint16(c.windowToAdvertise()),
+	}
+	if c.ecnEcho {
+		s.flags |= flagECE
 	}
 	c.transmit(&s)
 }
@@ -249,15 +271,7 @@ func (c *Conn) rexmitTimeout() {
 	}
 	c.backoff++
 	c.rtoRecover = c.sndNxt
-	// Van Jacobson on timeout: collapse to one segment, halve the
-	// threshold.
-	if !c.opts.NoCongestionControl {
-		flight := int(c.sndNxt - c.sndUna)
-		c.ssthresh = max(flight/2, 2*c.opts.MSS)
-		c.cwnd = c.mss()
-		c.inFastRecovery = false
-		c.dupAcks = 0
-	}
+	c.cc.OnTimeout(c)
 	c.retransmitOldest(false)
 	c.armRexmit()
 }

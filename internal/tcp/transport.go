@@ -86,6 +86,9 @@ func (t *Transport) registerMetrics() {
 	reg.Gauge(node, "tcp", "dup_acks", agg(func(s *Stats) uint64 { return s.DupAcksReceived }))
 	reg.Gauge(node, "tcp", "zero_window_probes", agg(func(s *Stats) uint64 { return s.ZeroWindowProbes }))
 	reg.Gauge(node, "tcp", "source_quenches", agg(func(s *Stats) uint64 { return s.SourceQuenches }))
+	reg.Gauge(node, "tcp", "ce_marks_seen", agg(func(s *Stats) uint64 { return s.CEMarksSeen }))
+	reg.Gauge(node, "tcp", "eces_received", agg(func(s *Stats) uint64 { return s.ECEsReceived }))
+	reg.Gauge(node, "tcp", "cwrs_sent", agg(func(s *Stats) uint64 { return s.CWRsSent }))
 	reg.Gauge(node, "tcp", "conns", func() uint64 { return uint64(len(t.conns)) })
 }
 
@@ -102,6 +105,9 @@ func (s *Stats) fold(c Stats) {
 	s.DupAcksReceived += c.DupAcksReceived
 	s.ZeroWindowProbes += c.ZeroWindowProbes
 	s.SourceQuenches += c.SourceQuenches
+	s.CEMarksSeen += c.CEMarksSeen
+	s.ECEsReceived += c.ECEsReceived
+	s.CWRsSent += c.CWRsSent
 }
 
 // icmpError routes a network-reported error to the connection whose
@@ -229,6 +235,7 @@ func (t *Transport) input(h ipv4.Header, payload []byte) {
 		return
 	}
 	t.segsIn++
+	seg.ce = ipv4.ECN(h.TOS) == ipv4.CE
 	local := Endpoint{Addr: h.Dst, Port: seg.dstPort}
 	remote := Endpoint{Addr: h.Src, Port: seg.srcPort}
 	if c, ok := t.conns[fourTuple{local: local, remote: remote}]; ok {

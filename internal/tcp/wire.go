@@ -32,7 +32,8 @@ import (
 // HeaderLen is the TCP header length without options.
 const HeaderLen = 20
 
-// Header flags.
+// Header flags. ECE and CWR occupy the two reserved bits RFC 3168
+// claimed for the ECN echo loop.
 const (
 	flagFIN = 1 << 0
 	flagSYN = 1 << 1
@@ -40,6 +41,8 @@ const (
 	flagPSH = 1 << 3
 	flagACK = 1 << 4
 	flagURG = 1 << 5
+	flagECE = 1 << 6
+	flagCWR = 1 << 7
 )
 
 // Endpoint is a TCP address: host and port.
@@ -59,6 +62,9 @@ type segment struct {
 	wnd              uint16
 	mss              uint16 // from the MSS option; 0 when absent
 	payload          []byte
+	// ce is not wire state: the demultiplexer sets it from the IP
+	// header's ECN field so segmentArrives sees the gateway's mark.
+	ce bool
 }
 
 func (s *segment) fin() bool    { return s.flags&flagFIN != 0 }
@@ -83,7 +89,7 @@ func (s *segment) flagString() string {
 	names := []struct {
 		bit  uint8
 		name string
-	}{{flagSYN, "S"}, {flagACK, "."}, {flagFIN, "F"}, {flagRST, "R"}, {flagPSH, "P"}, {flagURG, "U"}}
+	}{{flagSYN, "S"}, {flagACK, "."}, {flagFIN, "F"}, {flagRST, "R"}, {flagPSH, "P"}, {flagURG, "U"}, {flagECE, "E"}, {flagCWR, "W"}}
 	out := ""
 	for _, n := range names {
 		if s.flags&n.bit != 0 {

@@ -331,6 +331,10 @@ func (e *Engine) tcpOpts() tcp.Options {
 		opts.NoCongestionControl = true
 		opts.GoBackN = true
 	}
+	// An explicit congestion-response name overrides the era's default
+	// (VJ→reno, pre-VJ→naive); recovery style still follows the era.
+	opts.Congestion = e.spec.CC
+	opts.ECN = e.spec.ECN
 	if e.spec.NaiveRTO {
 		// 300ms sits below the RTT of a loaded multi-hop T1 path (a full
 		// 64-frame queue adds ~180ms per hop), which is the collapse

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"darpanet/internal/sim"
+	"darpanet/internal/tcp"
 )
 
 // Spec parameterizes a traffic mix. Profile weights are relative (they
@@ -43,6 +44,16 @@ type Spec struct {
 	// NaiveRTO additionally fixes the retransmission timer at 1s with
 	// no exponential backoff — the fully naive host of experiment E6.
 	NaiveRTO bool
+
+	// CC names the congestion response directly ("naive", "tahoe",
+	// "reno"): finer-grained than the VJ era switch, which it overrides.
+	// Empty defers to VJ (true→reno, false→naive). The pre-VJ host
+	// knobs (go-back-N recovery) still follow VJ.
+	CC string
+	// ECN makes the hosts offer RFC 3168 marking on every TCP
+	// connection — meaningful when the gateways run an ecn queue policy
+	// and the response is reno.
+	ECN bool
 }
 
 // DefaultSpec is a bulk-dominated mix in pre-VJ mode: the workload the
@@ -88,6 +99,12 @@ func (s Spec) String() string {
 	fmt.Fprintf(&b, ",alpha=%g,min=%d,max=%d", s.Alpha, s.MinBytes, s.MaxBytes)
 	fmt.Fprintf(&b, ",think_ms=%d", int64(s.Think/time.Millisecond))
 	fmt.Fprintf(&b, ",vj=%d,naive=%d,onoff=%d", b01(s.VJ), b01(s.NaiveRTO), b01(s.OnOff))
+	if s.CC != "" {
+		fmt.Fprintf(&b, ",cc=%s", s.CC)
+	}
+	if s.ECN {
+		fmt.Fprintf(&b, ",ecn=1")
+	}
 	if s.OnOff {
 		fmt.Fprintf(&b, ",on_ms=%d,off_ms=%d",
 			int64(s.OnMean/time.Millisecond), int64(s.OffMean/time.Millisecond))
@@ -105,7 +122,7 @@ func b01(v bool) int {
 // ParseSpec parses "key=val,key=val,…" into a Spec, starting from
 // DefaultSpec. Keys: bulk, inter, rr, voice (profile weights), rate
 // (flows/s), alpha, min, max (bulk size distribution), think_ms, vj,
-// naive, onoff (0/1), on_ms, off_ms.
+// naive, ecn, onoff (0/1), on_ms, off_ms, cc (naive|tahoe|reno).
 func ParseSpec(text string) (Spec, error) {
 	s := DefaultSpec()
 	if strings.TrimSpace(text) == "" {
@@ -115,6 +132,14 @@ func ParseSpec(text string) (Spec, error) {
 		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
 		if !ok {
 			return Spec{}, fmt.Errorf("workload: bad spec term %q (want key=val)", kv)
+		}
+		if key == "cc" { // string-valued: handled before the float parse
+			if tcp.CCByName(val) == nil {
+				return Spec{}, fmt.Errorf("workload: unknown cc %q (want one of %s)",
+					val, strings.Join(tcp.CCNames(), ", "))
+			}
+			s.CC = val
+			continue
 		}
 		f, err := strconv.ParseFloat(val, 64)
 		if err != nil {
@@ -143,6 +168,8 @@ func ParseSpec(text string) (Spec, error) {
 			s.VJ = f != 0
 		case "naive":
 			s.NaiveRTO = f != 0
+		case "ecn":
+			s.ECN = f != 0
 		case "onoff":
 			s.OnOff = f != 0
 		case "on_ms":

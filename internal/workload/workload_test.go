@@ -234,6 +234,17 @@ func TestSpecRoundTrip(t *testing.T) {
 			s.Rate = 2.5
 			return s
 		}(),
+		func() workload.Spec {
+			s := workload.DefaultSpec()
+			s.CC = "tahoe"
+			s.ECN = true
+			return s
+		}(),
+		func() workload.Spec {
+			s := workload.DefaultSpec()
+			s.CC = "reno"
+			return s
+		}(),
 	} {
 		got, err := workload.ParseSpec(s.String())
 		if err != nil {
@@ -248,6 +259,12 @@ func TestSpecRoundTrip(t *testing.T) {
 	}
 	if _, err := workload.ParseSpec("nonsense=1"); err == nil {
 		t.Error("ParseSpec accepted an unknown key")
+	}
+	if _, err := workload.ParseSpec("cc=vegas"); err == nil {
+		t.Error("ParseSpec accepted an unknown congestion response")
+	}
+	if got, err := workload.ParseSpec("cc=tahoe,ecn=1"); err != nil || got.CC != "tahoe" || !got.ECN {
+		t.Errorf("ParseSpec(cc=tahoe,ecn=1) = %+v, %v", got, err)
 	}
 }
 

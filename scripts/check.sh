@@ -1,9 +1,10 @@
 #!/usr/bin/env sh
 # Full verification gate, in the same order as .github/workflows/ci.yml:
-# build, vet, formatting, the test suite under the race detector (the
-# campaign harness in internal/harness is the one place real concurrency
-# exists — keep it honest), the pooldebug poisoning build, and the
-# allocation-regression gate over the datagram hot path.
+# build, vet, formatting, staticcheck (when reachable), the test suite
+# under the race detector (the campaign harness in internal/harness is
+# the one place real concurrency exists — keep it honest), the pooldebug
+# poisoning build, the experiment smokes, and the allocation-regression
+# gate over the datagram hot path.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -11,6 +12,16 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 test -z "$(gofmt -l .)"
+# staticcheck, pinned to the same version CI runs. `go run` needs the
+# module proxy; on an offline machine skip with a notice rather than
+# fail — CI remains the authority.
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+elif go run honnef.co/go/tools/cmd/staticcheck@2024.1.1 -version >/dev/null 2>&1; then
+    go run honnef.co/go/tools/cmd/staticcheck@2024.1.1 ./...
+else
+    echo "check.sh: staticcheck unavailable offline; skipping (CI runs it)" >&2
+fi
 go test -race ./...
 go test -tags pooldebug ./...
 # The crash/restart soak must pass with poisoned pooled buffers: a frame
@@ -37,4 +48,9 @@ trap 'rm -rf "$tmpdir"' EXIT
 go run ./cmd/experiments -only E5 -runs 4 -parallel 1 -json "$tmpdir/p1.json" > /dev/null
 go run ./cmd/experiments -only E5 -runs 4 -parallel "$(nproc)" -json "$tmpdir/pn.json" > /dev/null
 cmp "$tmpdir/p1.json" "$tmpdir/pn.json"
+# E13-T smoke: a 2x2 tournament cell grid through the CLI, with the
+# ranked leaderboard required byte-identical at any worker count.
+go run ./cmd/experiments -only E13-T -qdisc 'droptail+ecn' -cc 'naive+reno' -runs 2 -seed 1988 -parallel 1 -leaderboard "$tmpdir/lb1.json" > /dev/null
+go run ./cmd/experiments -only E13-T -qdisc 'droptail+ecn' -cc 'naive+reno' -runs 2 -seed 1988 -parallel 3 -leaderboard "$tmpdir/lb3.json" > /dev/null
+cmp "$tmpdir/lb1.json" "$tmpdir/lb3.json"
 scripts/benchguard.sh

@@ -34,9 +34,14 @@
 // tahoe, reno). -leaderboard writes the E13-T campaign's ranked
 // leaderboard as darpanet/tournament/v1 JSON.
 //
+// -stopo overrides E14's generated internet with an internal/topo spec
+// and -sfracs its loss sweep as comma-separated percentages, e.g.
+// -stopo transitstub:gw=6,stubs=3 -sfracs 5,10,25. -survive writes the
+// E14 campaign's survivability frontier as darpanet/survive/v1 JSON.
+//
 // Usage:
 //
-//	experiments [-seed N] [-only E1,E5] [-runs N] [-parallel N] [-json file] [-faults sched] [-topo spec] [-workload spec] [-qdisc spec] [-cc list] [-leaderboard file] [-metrics]
+//	experiments [-seed N] [-only E1,E5] [-runs N] [-parallel N] [-json file] [-faults sched] [-topo spec] [-workload spec] [-qdisc spec] [-cc list] [-leaderboard file] [-stopo spec] [-sfracs pcts] [-survive file] [-metrics]
 package main
 
 import (
@@ -118,6 +123,9 @@ func main() {
 	qdisc := flag.String("qdisc", "", "gateway queue policy: E13 takes one spec (droptail|red|ecn[:k=v,...]), E13-T a '+'-separated grid restriction")
 	ccFlag := flag.String("cc", "", "host congestion response: E13 takes one name (naive|tahoe|reno), E13-T a '+'-separated grid restriction")
 	leaderboard := flag.String("leaderboard", "", "write the E13-T campaign's ranked leaderboard to this file as darpanet/tournament/v1 JSON")
+	sTopo := flag.String("stopo", "", "E14 topology spec, 'shape:key=val,...' (same syntax as -topo)")
+	sFracs := flag.String("sfracs", "", "E14 loss sweep as comma-separated percentages of infrastructure lost, e.g. '2,5,10,20'")
+	surviveOut := flag.String("survive", "", "write the E14 campaign's survivability frontier to this file as darpanet/survive/v1 JSON")
 	flag.Parse()
 
 	e11Run := exp.RunE11
@@ -175,6 +183,24 @@ func main() {
 		e13tRun = exp.RunE13TGrid(cells, nil, 0, 0)
 	}
 
+	e14Run := exp.RunE14
+	if *sTopo != "" || *sFracs != "" {
+		var spec topo.Spec
+		if *sTopo != "" {
+			var err error
+			if spec, err = topo.ParseSpec(*sTopo); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fracs, err := parseFracs(*sFracs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		e14Run = exp.RunE14With(spec, fracs)
+	}
+
 	want := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
@@ -216,6 +242,15 @@ func main() {
 			e.Run = e13tRun
 			if *qdisc != "" || *ccFlag != "" {
 				e.Title += fmt.Sprintf(" [%d-cell grid]", len(policies)*len(ccs))
+			}
+		}
+		if e.ID == "E14" {
+			e.Run = e14Run
+			if *sTopo != "" {
+				e.Title += " [-stopo " + *sTopo + "]"
+			}
+			if *sFracs != "" {
+				e.Title += " [-sfracs " + *sFracs + "]"
 			}
 		}
 		start := time.Now()
@@ -312,6 +347,56 @@ func main() {
 				e.Rank, e.Name, e.Score, e.CollapseRatio, e.PeakGoodputBps/1e6, e.Jain)
 		}
 	}
+
+	if *surviveOut != "" {
+		var fr *harness.Frontier
+		for _, rep := range reports {
+			if rep.ID == "E14" {
+				fr = harness.BuildFrontier(rep)
+				break
+			}
+		}
+		if fr == nil || len(fr.Rows) == 0 {
+			fmt.Fprintln(os.Stderr, "-survive: no E14 campaign in this run")
+			os.Exit(1)
+		}
+		f, err := os.Create(*surviveOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := harness.WriteFrontierJSON(f, fr); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d-row frontier, schema darpanet/survive/v1)\n", *surviveOut, len(fr.Rows))
+		for _, r := range fr.Rows {
+			fmt.Printf("  %-8s %5.1f%% lost: goodput %.2f of baseline, %.1f partitions, largest %.2f\n",
+				r.Mode, r.LostPct, r.GoodputFrac, r.Partitions, r.LargestFrac)
+		}
+	}
+}
+
+// parseFracs parses a comma-separated percentage list ("2,5,10,20")
+// into fractions; empty input keeps the E14 default sweep.
+func parseFracs(arg string) ([]float64, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, s := range strings.Split(arg, ",") {
+		var pct float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &pct); err != nil || pct <= 0 || pct > 100 {
+			return nil, fmt.Errorf("-sfracs %q: want percentages in (0,100], e.g. '2,5,10,20'", arg)
+		}
+		out = append(out, pct/100)
+	}
+	return out, nil
 }
 
 // nonEmpty returns s, or fallback when s is empty.

@@ -1,0 +1,165 @@
+package core_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"darpanet/internal/core"
+	"darpanet/internal/ipv4"
+	"darpanet/internal/phys"
+	"darpanet/internal/stack"
+)
+
+// spurNet is a small internet with one redundancy-free spur: the square
+// lanA—gwA—n1—gwB—lanB plus gwC hanging lanC off gwB via n2. Cutting n1
+// partitions it; crashing gwC strands h3.
+func spurNet(seed int64) *core.Network {
+	nw := core.New(seed)
+	trunk := phys.Config{BitsPerSec: 1_544_000, Delay: 3 * time.Millisecond, MTU: 1500, QueueLimit: 64}
+	lan := phys.Config{BitsPerSec: 10_000_000, Delay: time.Millisecond, MTU: 1500, QueueLimit: 64}
+	nw.AddNet("lanA", "10.1.0.0/24", core.LAN, lan)
+	nw.AddNet("lanB", "10.2.0.0/24", core.LAN, lan)
+	nw.AddNet("lanC", "10.3.0.0/24", core.LAN, lan)
+	nw.AddNet("n1", "10.9.1.0/24", core.P2P, trunk)
+	nw.AddNet("n2", "10.9.2.0/24", core.P2P, trunk)
+	nw.AddHost("h1", "lanA")
+	nw.AddHost("h2", "lanB")
+	nw.AddHost("h3", "lanC")
+	nw.AddGateway("gwA", "lanA", "n1")
+	nw.AddGateway("gwB", "lanB", "n1", "n2")
+	nw.AddGateway("gwC", "n2", "lanC")
+	return nw
+}
+
+// TestPartitionCensus carves the spur internet up fault by fault and
+// checks the census against hand-counted components — and, for every
+// node, against the per-node ReachablePrefixes oracle it replaces.
+func TestPartitionCensus(t *testing.T) {
+	nw := spurNet(1)
+	names := nw.Nodes()
+
+	checkAgainstReachable := func(c *core.Census) {
+		t.Helper()
+		for _, name := range names {
+			if c.ComponentOf(name) < 0 {
+				continue // down: ReachablePrefixes semantics differ
+			}
+			want := nw.ReachablePrefixes(name)
+			if got := c.Prefixes(name); !reflect.DeepEqual(got, want) {
+				t.Errorf("census Prefixes(%s) = %v, ReachablePrefixes = %v", name, got, want)
+			}
+		}
+	}
+
+	c := nw.PartitionCensus()
+	if c.Components != 1 || c.Down != 0 || c.Largest != 6 || c.Total != 6 {
+		t.Fatalf("intact: %+v, want 1 component, 6/6 up", c)
+	}
+	if c.LargestFrac() != 1.0 {
+		t.Fatalf("intact LargestFrac = %v, want 1", c.LargestFrac())
+	}
+	checkAgainstReachable(c)
+
+	nw.SetNetDown("n1", true)
+	c = nw.PartitionCensus()
+	if c.Components != 2 || c.Down != 0 {
+		t.Fatalf("cut n1: %+v, want 2 components, none down", c)
+	}
+	if c.Largest != 4 { // gwB, h2, gwC, h3
+		t.Fatalf("cut n1: Largest = %d, want 4", c.Largest)
+	}
+	if c.ComponentOf("h1") != c.ComponentOf("gwA") || c.ComponentOf("h1") == c.ComponentOf("h2") {
+		t.Fatalf("cut n1: wrong membership: %+v", c)
+	}
+	checkAgainstReachable(c)
+
+	nw.CrashNode("gwC")
+	c = nw.PartitionCensus()
+	// Now three pieces: {h1,gwA}, {gwB,h2}, and h3 alone on its LAN
+	// (operating but severed); gwC itself is down.
+	if c.Components != 3 || c.Down != 1 || c.Largest != 2 {
+		t.Fatalf("cut n1 + crash gwC: %+v, want 3 components / 1 down / largest 2", c)
+	}
+	if c.ComponentOf("gwC") != -1 {
+		t.Fatalf("crashed gwC in component %d, want -1", c.ComponentOf("gwC"))
+	}
+	if got := c.Prefixes("gwC"); got != nil {
+		t.Fatalf("crashed gwC reaches %v, want nothing", got)
+	}
+	if frac := c.LargestFrac(); frac != 2.0/6.0 {
+		t.Fatalf("LargestFrac = %v, want 1/3", frac)
+	}
+	checkAgainstReachable(c)
+
+	nw.SetNetDown("n1", false)
+	nw.RestoreNode("gwC")
+	c = nw.PartitionCensus()
+	if c.Components != 1 || c.Down != 0 || c.Largest != 6 {
+		t.Fatalf("healed: %+v, want everything back in one component", c)
+	}
+	checkAgainstReachable(c)
+}
+
+// lineNet is a chain of n+1 nets joined by n gateways — the topology
+// where path length and hop budget collide.
+func lineNet(n int) *core.Network {
+	nw := core.New(1)
+	cfg := phys.Config{BitsPerSec: 1_544_000, Delay: time.Millisecond, MTU: 1500, QueueLimit: 64}
+	for i := 0; i <= n; i++ {
+		nw.AddNet(fmt.Sprintf("n%d", i), fmt.Sprintf("10.9.%d.0/24", i), core.P2P, cfg)
+	}
+	for i := 0; i < n; i++ {
+		nw.AddGateway(fmt.Sprintf("g%d", i), fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1))
+	}
+	return nw
+}
+
+// TestCheckRouteVerdicts pins the three walk outcomes apart: delivered
+// within budget, dead at a cut, and budget exhaustion on a path longer
+// than the limit — the long-path/loop conflation RouteWorks had.
+func TestCheckRouteVerdicts(t *testing.T) {
+	nw := lineNet(4)
+	nw.InstallStaticRoutes()
+	far := nw.Prefix("n4")
+
+	if v := nw.CheckRoute("g0", far, 0); v != core.RouteDelivered {
+		t.Fatalf("g0 -> n4 full budget: %v, want delivered", v)
+	}
+	if !nw.RouteWorks("g0", far) {
+		t.Fatal("RouteWorks disagrees with CheckRoute == delivered")
+	}
+	// The walk needs 4 iterations (3 relays + the delivering gateway);
+	// a 2-hop budget exhausts mid-path — reported as a loop, which is
+	// what exhaustion means once the budget exceeds the true diameter.
+	if v := nw.CheckRoute("g0", far, 2); v != core.RouteLooped {
+		t.Fatalf("g0 -> n4 budget 2: %v, want looped (budget exhausted)", v)
+	}
+	nw.SetNetDown("n2", true)
+	if v := nw.CheckRoute("g0", far, 0); v != core.RouteDead {
+		t.Fatalf("g0 -> n4 over cut n2: %v, want dead", v)
+	}
+	nw.SetNetDown("n2", false)
+}
+
+// TestCheckRouteDetectsRealLoop wires two gateways' static tables at
+// each other for a prefix neither can deliver and demands the verdict
+// say "looped", not "dead".
+func TestCheckRouteDetectsRealLoop(t *testing.T) {
+	nw := lineNet(2) // g0 and g1 share n1
+	nw.AddNet("nowhere", "10.99.0.0/24", core.P2P, phys.Config{BitsPerSec: 1_544_000, Delay: time.Millisecond, MTU: 1500, QueueLimit: 64})
+	p := nw.Prefix("nowhere")
+	// g0's n1 interface is index 1, g1's is index 0.
+	nw.Node("g0").Table.Add(stack.Route{Prefix: p, Via: nw.Node("g1").Addr(), IfIndex: 1, Metric: 2, Source: stack.SourceStatic})
+	nw.Node("g1").Table.Add(stack.Route{Prefix: p, Via: addrOn(nw, "g0", 1), IfIndex: 0, Metric: 2, Source: stack.SourceStatic})
+
+	if v := nw.CheckRoute("g0", p, 0); v != core.RouteLooped {
+		t.Fatalf("two-gateway ping-pong: %v, want looped", v)
+	}
+}
+
+// addrOn returns the node's address on its idx-th interface.
+func addrOn(nw *core.Network, node string, idx int) ipv4.Addr {
+	return nw.Node(node).Interface(idx).Addr
+}

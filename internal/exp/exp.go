@@ -149,6 +149,7 @@ var All = []Experiment{
 	{"E12", "Scale: convergence, forwarding cost and conservation on a generated internet", RunE12},
 	{"E13", "Congestion collapse: goodput vs offered load through the cliff", RunE13},
 	{"E13-T", "Policy tournament: gateway queue policy x host congestion response", RunE13T},
+	{"E14", "Survivability frontier: cut-set-targeted vs random failure at matched budgets", RunE14},
 }
 
 // ByID returns the experiment with the given ID.

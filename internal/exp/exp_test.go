@@ -12,8 +12,8 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	if len(All) != 14 {
-		t.Fatalf("experiments = %d, want 14", len(All))
+	if len(All) != 15 {
+		t.Fatalf("experiments = %d, want 15", len(All))
 	}
 	seen := map[string]bool{}
 	for _, e := range All {

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"darpanet/internal/core"
@@ -16,6 +17,19 @@ type Event struct {
 	Op     Op
 	Target string
 	Index  int
+	// Watched marks the event carrying its instant's convergence watch.
+	// Steps that fire at the same simulated instant are one compound
+	// failure — a targeted multi-cut, a cut-under-crash — and the
+	// routing protocol recovers from them once, so the injector watches
+	// them once: the first event of the group is Watched and holds the
+	// group's measurements, the rest are logged unwatched.
+	Watched bool
+	// Partitioned records that the failure left the topology split
+	// (reachability census found more than one component, or stranded
+	// nodes). The watch then expects each router to reach only its own
+	// component's prefixes; a partition that reconverges on both sides
+	// is Reconverged AND Partitioned, not unreconverged.
+	Partitioned bool
 	// Reconverged reports whether every running RIP router reached a
 	// live route to everything the oracle says it can reach, before the
 	// next event fired (or the run ended); ReconvergeAfter is how long
@@ -51,11 +65,21 @@ type Injector struct {
 	totalLost uint64
 
 	// Convergence watch: pending routers and the event being timed.
+	// census is the reachability census taken when the watch opened —
+	// topology only changes at injected events, so it stays valid for
+	// the whole watch and replaces a per-poll, per-router BFS.
 	watchEvent int
 	watchFrom  sim.Time
 	pending    map[string]bool
 	pollArmed  bool
 	pollFn     func()
+	census     *core.Census
+
+	// hopLimit bounds the forwarding-walk oracle; loopExits counts
+	// walks that exhausted it (a forwarding loop, when the limit is
+	// above the topology diameter) instead of dying at a table hole.
+	hopLimit  int
+	loopExits uint64
 
 	// Per-router reconvergence durations, one per watched event.
 	routerTimes map[string][]sim.Duration
@@ -87,22 +111,52 @@ func (in *Injector) SetPollInterval(d sim.Duration) {
 	}
 }
 
+// SetHopLimit bounds the forwarding-walk oracle at n hops. Callers who
+// know the topology diameter should set a bound just above it, so a
+// walk that exhausts the budget really is a forwarding loop (counted in
+// Metrics as route_loop_exits) and not a legitimate long path. Zero
+// restores core.DefaultHopLimit.
+func (in *Injector) SetHopLimit(n int) { in.hopLimit = n }
+
 // Schedule returns the schedule the injector runs.
 func (in *Injector) Schedule() Schedule { return in.sched }
 
 // Arm schedules every step of the schedule on the kernel, offsets
-// counted from now. All per-step closures are bound here, up front:
-// between faults the armed injector allocates nothing and schedules
-// nothing, preserving the zero-allocation datagram hot path.
+// counted from now. Steps sharing an offset are grouped into one
+// compound event: all of them fire back to back at that instant and the
+// group is watched to reconvergence once, on its first event —
+// otherwise a simultaneous multi-cut would supersede its own watch and
+// count every cut but the last as unreconverged. All closures are bound
+// here, up front: between faults the armed injector allocates nothing
+// and schedules nothing, preserving the zero-allocation datagram hot
+// path.
 func (in *Injector) Arm() {
-	for i := range in.sched.Steps {
-		st := in.sched.Steps[i]
-		in.k.After(st.At, func() { in.apply(st) })
+	steps := make([]Step, len(in.sched.Steps))
+	copy(steps, in.sched.Steps)
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].At < steps[j].At })
+	for i := 0; i < len(steps); {
+		j := i + 1
+		for j < len(steps) && steps[j].At == steps[i].At {
+			j++
+		}
+		group := steps[i:j]
+		in.k.After(group[0].At, func() { in.applyGroup(group) })
+		i = j
 	}
 }
 
-// apply fires one step: inject the fault, log the event, and (re)start
-// the convergence watch.
+// applyGroup fires one simultaneity group: every step injects and logs,
+// then the group's first event takes the convergence watch.
+func (in *Injector) applyGroup(group []Step) {
+	first := len(in.log)
+	for _, st := range group {
+		in.apply(st)
+	}
+	in.log[first].Watched = true
+	in.startWatch(first)
+}
+
+// apply fires one step: inject the fault and log the event.
 func (in *Injector) apply(st Step) {
 	ev := Event{At: in.k.Now(), Op: st.Op, Target: st.Target, Index: st.Index}
 	switch st.Op {
@@ -151,7 +205,6 @@ func (in *Injector) apply(st Step) {
 		}
 	}
 	in.log = append(in.log, ev)
-	in.startWatch(len(in.log) - 1)
 }
 
 // downDrops totals the frames that have died at the node's interfaces:
@@ -166,13 +219,19 @@ func (in *Injector) downDrops(node string) uint64 {
 	return total
 }
 
-// startWatch begins timing reconvergence for event evIdx. An event that
+// startWatch begins timing reconvergence for event evIdx. A group that
 // fires while a previous watch is still pending supersedes it: the
 // earlier event simply never records a reconvergence (counted by
-// Metrics as unreconverged).
+// Metrics as unreconverged). The watch opens with a fresh reachability
+// census — the oracle expects each router to reach only what the
+// post-failure topology lets it reach, so a permanent partition
+// reconverges (both sides settle) and is flagged Partitioned rather
+// than pending forever.
 func (in *Injector) startWatch(evIdx int) {
 	in.watchEvent = evIdx
 	in.watchFrom = in.k.Now()
+	in.census = in.nw.PartitionCensus()
+	in.log[evIdx].Partitioned = in.census.Components > 1
 	for name := range in.pending {
 		delete(in.pending, name)
 	}
@@ -230,17 +289,24 @@ func (in *Injector) check() {
 }
 
 // converged reports whether router name has genuinely recovered: its
-// RIP state holds a live route to everything the oracle says it can
-// reach, and each of those routes actually forwards — a stale entry
-// still pointing through a dead gateway keeps metric < Infinity until
-// the protocol notices, and must not count as reconverged.
+// RIP state holds a live route to everything the census says its
+// component can reach, and each of those routes actually forwards — a
+// stale entry still pointing through a dead gateway keeps
+// metric < Infinity until the protocol notices, and must not count as
+// reconverged. A forwarding walk that exhausts the hop budget is a
+// loop, counted separately from dead routes.
 func (in *Injector) converged(name string, r *rip.Router) bool {
-	want := in.nw.ReachablePrefixes(name)
+	want := in.census.Prefixes(name)
 	if !r.Converged(want) {
 		return false
 	}
 	for _, p := range want {
-		if !in.nw.RouteWorks(name, p) {
+		switch in.nw.CheckRoute(name, p, in.hopLimit) {
+		case core.RouteDelivered:
+		case core.RouteLooped:
+			in.loopExits++
+			return false
+		default:
 			return false
 		}
 	}
@@ -251,6 +317,17 @@ func (in *Injector) converged(name string, r *rip.Router) bool {
 func (in *Injector) Events() []Event {
 	out := make([]Event, len(in.log))
 	copy(out, in.log)
+	return out
+}
+
+// ReconvergeDurations returns every per-router reconvergence time
+// measured so far, router-major in RIPNodes order — the raw sample for
+// distribution statistics (percentiles across routers and events).
+func (in *Injector) ReconvergeDurations() []sim.Duration {
+	var out []sim.Duration
+	for _, name := range in.nw.RIPNodes() {
+		out = append(out, in.routerTimes[name]...)
+	}
 	return out
 }
 
@@ -269,18 +346,28 @@ type Metric struct {
 // deterministic order and fixed naming, so harness campaigns can
 // aggregate them across replicas:
 //
-//	events_injected        events fired
-//	events_reconverged     events after which full reconvergence was observed
-//	events_unreconverged   events superseded or still pending at the end
+//	events_injected        events fired (every step of every group)
+//	events_watched         compound-failure groups watched to reconvergence
+//	events_reconverged     watched groups that fully reconverged
+//	events_unreconverged   watched groups superseded or still pending at the end
+//	events_partitioned     watched groups whose failure split the topology
 //	reconverge_mean_s      mean time from event to full reconvergence
 //	reconverge_max_s       worst such time
 //	blackout_lost_frames   frames swallowed during closed blackout windows
+//	route_loop_exits       oracle walks that exhausted the hop budget (loops)
 //	reconverge_<node>_mean_s   per-router mean reconvergence time
 func (in *Injector) Metrics() []Metric {
 	var ms []Metric
-	reconverged, unreconverged := 0, 0
+	watched, reconverged, unreconverged, partitioned := 0, 0, 0, 0
 	var sum, maxd sim.Duration
 	for i := range in.log {
+		if !in.log[i].Watched {
+			continue
+		}
+		watched++
+		if in.log[i].Partitioned {
+			partitioned++
+		}
 		if in.log[i].Reconverged {
 			reconverged++
 			sum += in.log[i].ReconvergeAfter
@@ -293,8 +380,10 @@ func (in *Injector) Metrics() []Metric {
 	}
 	ms = append(ms,
 		Metric{"events_injected", "", float64(len(in.log))},
+		Metric{"events_watched", "", float64(watched)},
 		Metric{"events_reconverged", "", float64(reconverged)},
 		Metric{"events_unreconverged", "", float64(unreconverged)},
+		Metric{"events_partitioned", "", float64(partitioned)},
 	)
 	mean := 0.0
 	if reconverged > 0 {
@@ -304,6 +393,7 @@ func (in *Injector) Metrics() []Metric {
 		Metric{"reconverge_mean_s", "s", mean},
 		Metric{"reconverge_max_s", "s", maxd.Seconds()},
 		Metric{"blackout_lost_frames", "frames", float64(in.totalLost)},
+		Metric{"route_loop_exits", "", float64(in.loopExits)},
 	)
 	for _, name := range in.nw.RIPNodes() {
 		times := in.routerTimes[name]

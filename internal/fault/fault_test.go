@@ -1,6 +1,7 @@
 package fault_test
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -282,6 +283,174 @@ func TestInjectorDeterminism(t *testing.T) {
 	if !reflect.DeepEqual(m1, m2) {
 		t.Errorf("metrics differ:\n%+v\nvs\n%+v", m1, m2)
 	}
+}
+
+// TestCompoundFailureWatchedOnce pins the compound-event accounting
+// fix: a simultaneous double-cut is one failure, so it gets one watched
+// event that reconverges — before the fix the second cut superseded the
+// first cut's watch and the log always carried a spurious
+// unreconverged event.
+func TestCompoundFailureWatchedOnce(t *testing.T) {
+	nw := recoveryNet(5)
+	nw.RunFor(15 * time.Second)
+
+	// Both trunks out of lanA at the same instant: a true partition.
+	in := fault.New(nw, fault.MustParse("doublecut", "10s cut n1\n10s cut n4\n"))
+	in.Arm()
+	nw.RunFor(40 * time.Second)
+
+	evs := in.Events()
+	if len(evs) != 2 {
+		t.Fatalf("logged %d events, want 2", len(evs))
+	}
+	if !evs[0].Watched || evs[1].Watched {
+		t.Fatalf("watch marks wrong: first %v second %v, want first only", evs[0].Watched, evs[1].Watched)
+	}
+	if !evs[0].Reconverged {
+		t.Fatal("compound cut never reconverged: each side should settle for its own component")
+	}
+	if !evs[0].Partitioned {
+		t.Fatal("double-cut severed lanA but the event is not marked Partitioned")
+	}
+
+	byName := metricsByName(t, in)
+	if byName["events_injected"] != 2 {
+		t.Errorf("events_injected = %v, want 2", byName["events_injected"])
+	}
+	if byName["events_watched"] != 1 {
+		t.Errorf("events_watched = %v, want 1", byName["events_watched"])
+	}
+	if byName["events_reconverged"] != 1 {
+		t.Errorf("events_reconverged = %v, want 1", byName["events_reconverged"])
+	}
+	if byName["events_unreconverged"] != 0 {
+		t.Errorf("events_unreconverged = %v, want 0 — the old superseded-watch miscount", byName["events_unreconverged"])
+	}
+	if byName["events_partitioned"] != 1 {
+		t.Errorf("events_partitioned = %v, want 1", byName["events_partitioned"])
+	}
+}
+
+// TestPartitionOutcomeDistinguished pins the partition-aware oracle: a
+// permanent partition must reconverge against the post-failure graph
+// (each side settling for what it can still reach, well before the
+// heal), flagged Partitioned — not inflate the reconvergence metrics as
+// unreconverged the way the all-prefixes oracle did.
+func TestPartitionOutcomeDistinguished(t *testing.T) {
+	nw := recoveryNet(6)
+	nw.RunFor(15 * time.Second)
+
+	sched, ok := fault.Preset("partition") // cuts at 10s, heals at 35s
+	if !ok {
+		t.Fatal("partition preset missing")
+	}
+	in := fault.New(nw, sched)
+	in.Arm()
+	nw.RunFor(70 * time.Second)
+
+	evs := in.Events()
+	if len(evs) != 4 {
+		t.Fatalf("logged %d events, want 4", len(evs))
+	}
+	cut, heal := evs[0], evs[2]
+	if !cut.Watched || !heal.Watched {
+		t.Fatalf("group leaders not watched: %+v", evs)
+	}
+	if !cut.Partitioned {
+		t.Fatal("cut group not marked Partitioned")
+	}
+	if heal.Partitioned {
+		t.Fatal("heal group marked Partitioned after the topology rejoined")
+	}
+	if !cut.Reconverged {
+		t.Fatal("partitioned topology never reconverged — oracle still expects unreachable prefixes")
+	}
+	// The sides must settle before the heal fires at +25s; the watch
+	// would otherwise have been superseded, not reconverged.
+	if cut.ReconvergeAfter >= 25*time.Second {
+		t.Errorf("cut group reconverged in %s, want < 25s (before heal)", cut.ReconvergeAfter)
+	}
+	if !heal.Reconverged {
+		t.Fatal("heal never reconverged")
+	}
+
+	byName := metricsByName(t, in)
+	if byName["events_unreconverged"] != 0 {
+		t.Errorf("events_unreconverged = %v, want 0", byName["events_unreconverged"])
+	}
+	if byName["events_partitioned"] != 1 {
+		t.Errorf("events_partitioned = %v, want 1 (the cut group only)", byName["events_partitioned"])
+	}
+}
+
+// TestHopLimitLoopAccounting pins the loop-exit metric: on a 5-net line
+// the far prefix takes 4 forwarding-walk iterations, so a 2-hop oracle
+// budget exhausts — which must surface as route_loop_exits and an
+// unreconverged watch, not read identically to a dead route. The same
+// scenario under the default budget reconverges instantly.
+func TestHopLimitLoopAccounting(t *testing.T) {
+	build := func() *core.Network {
+		nw := core.New(9)
+		cfg := phys.Config{BitsPerSec: 1_544_000, Delay: time.Millisecond, MTU: 1500, QueueLimit: 64}
+		for i := 0; i <= 4; i++ {
+			nw.AddNet(fmt.Sprintf("n%d", i), fmt.Sprintf("10.9.%d.0/24", i), core.P2P, cfg)
+		}
+		for i := 0; i < 4; i++ {
+			nw.AddGateway(fmt.Sprintf("g%d", i), fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1))
+		}
+		nw.EnableRIP(rip.Config{
+			UpdateInterval: 2 * time.Second,
+			RouteTimeout:   7 * time.Second,
+			GCTimeout:      4 * time.Second,
+			TriggeredDelay: 200 * time.Millisecond,
+		})
+		nw.RunFor(15 * time.Second) // converge
+		return nw
+	}
+	// A storm changes no topology, so the watch it opens sees an
+	// already-converged line: the only question is the walk budget.
+	sched := fault.MustParse("storm", "5s storm n2 0.05\n")
+
+	nw := build()
+	in := fault.New(nw, sched)
+	in.Arm()
+	nw.RunFor(10 * time.Second)
+	if evs := in.Events(); !evs[0].Reconverged {
+		t.Fatal("default hop budget: converged line did not reconverge")
+	}
+	if v := metricsByName(t, in)["route_loop_exits"]; v != 0 {
+		t.Fatalf("default hop budget counted %v loop exits, want 0", v)
+	}
+
+	nw = build()
+	in = fault.New(nw, sched)
+	in.SetHopLimit(2)
+	in.Arm()
+	nw.RunFor(10 * time.Second)
+	if evs := in.Events(); evs[0].Reconverged {
+		t.Fatal("2-hop budget: oracle claimed reconvergence over a 4-hop path")
+	}
+	byName := metricsByName(t, in)
+	if byName["route_loop_exits"] == 0 {
+		t.Error("budget exhaustion not counted in route_loop_exits")
+	}
+	if byName["events_unreconverged"] != 1 {
+		t.Errorf("events_unreconverged = %v, want 1", byName["events_unreconverged"])
+	}
+}
+
+// metricsByName collects injector metrics into a map, failing on
+// duplicate names.
+func metricsByName(t *testing.T, in *fault.Injector) map[string]float64 {
+	t.Helper()
+	byName := map[string]float64{}
+	for _, m := range in.Metrics() {
+		if _, dup := byName[m.Name]; dup {
+			t.Errorf("duplicate metric %q", m.Name)
+		}
+		byName[m.Name] = m.Value
+	}
+	return byName
 }
 
 // TestCrashRestartSoak cycles a gateway through crash/restart while a

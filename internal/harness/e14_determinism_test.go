@@ -1,0 +1,64 @@
+package harness_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"darpanet/internal/exp"
+	"darpanet/internal/harness"
+	"darpanet/internal/topo"
+)
+
+// TestE14CampaignJSONByteIdentical is the survivability-frontier
+// campaign's acceptance check: each replica analyses a generated
+// internet's cut structure, mounts targeted and random compound attacks
+// at matched budgets, and both the aggregated campaign JSON and the
+// distilled frontier JSON must be byte-for-byte identical at any worker
+// count — the targeted schedule is a pure function of the analysis, the
+// random schedule draws only from a per-cell seeded rng, and the
+// injector, census and workload engine share no cross-replica state. A
+// scaled-down sweep (small internet, two fractions, short windows)
+// keeps the test quick; the full sweep is the recorded campaign in
+// EXPERIMENTS.md.
+func TestE14CampaignJSONByteIdentical(t *testing.T) {
+	const runs = 3
+	spec, err := topo.ParseSpec("transitstub:gw=3,stubs=2,hosts=1,mix=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := exp.E14Workload()
+	ws.MaxBytes = 60_000
+	run := exp.RunE14Sweep(spec, ws, []float64{0.10, 0.20}, 4*time.Second, 8*time.Second)
+	var wantCampaign, wantFrontier []byte
+	for _, workers := range []int{1, 3} {
+		rep := harness.Campaign{Runs: runs, Parallel: workers, BaseSeed: 1988}.
+			RunFunc("E14", "survivability frontier on a generated internet", run)
+		if len(rep.Failures) > 0 {
+			t.Fatalf("workers=%d: replica failures: %+v", workers, rep.Failures)
+		}
+		var buf bytes.Buffer
+		if err := harness.WriteJSON(&buf, 1988, runs, []*harness.Report{rep}); err != nil {
+			t.Fatal(err)
+		}
+		var fbuf bytes.Buffer
+		f := harness.BuildFrontier(rep)
+		if len(f.Rows) != 4 {
+			t.Fatalf("workers=%d: frontier has %d rows, want 4", workers, len(f.Rows))
+		}
+		if err := harness.WriteFrontierJSON(&fbuf, f); err != nil {
+			t.Fatal(err)
+		}
+		if wantCampaign == nil {
+			wantCampaign = append([]byte(nil), buf.Bytes()...)
+			wantFrontier = append([]byte(nil), fbuf.Bytes()...)
+			continue
+		}
+		if !bytes.Equal(wantCampaign, buf.Bytes()) {
+			t.Fatal("campaign JSON diverged between worker counts")
+		}
+		if !bytes.Equal(wantFrontier, fbuf.Bytes()) {
+			t.Fatal("frontier JSON diverged between worker counts")
+		}
+	}
+}

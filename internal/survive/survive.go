@@ -1,0 +1,404 @@
+// Package survive is the systematic half of the paper's #1 goal:
+// survivability analysis per the CMU/SEI survivable-systems method.
+// E11 proved recovery on hand-picked failures; this package finds a
+// generated internet's structural weak points — articulation gateways,
+// bridge trunks, and minimal 2-cuts of the bipartite gateway/net graph
+// — and converts them into worst-case compound fault.Schedules
+// (simultaneous multi-cut, targeted crashes, cut-under-crash), plus
+// seeded-random baselines at matched failure budgets. The gap between
+// the targeted and random frontiers is the survivability margin E14
+// measures.
+//
+// Everything here works on topo.Adjacency, the pure incidence graph of
+// a manifest, and is deterministic: the same adjacency (and, for
+// random schedules, the same rng state) always yields the same
+// analysis and schedules.
+package survive
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"darpanet/internal/fault"
+	"darpanet/internal/sim"
+	"darpanet/internal/topo"
+)
+
+// Analysis is the weak-point catalogue of one adjacency. Indices refer
+// to the adjacency's Gateways and Nets slices.
+type Analysis struct {
+	// CutGateways are gateways whose crash alone increases the count of
+	// service components (groups of gateways and host-bearing nets that
+	// can still reach each other).
+	CutGateways []int
+	// CutNets are trunk nets whose cut alone increases it — the
+	// bridges of the internet.
+	CutNets []int
+	// CutPairs are minimal 2-cuts among trunks: cutting both splits
+	// service, cutting either alone does not. Pairs are drawn from the
+	// highest-degree trunks (bounded search), sorted lexicographically.
+	CutPairs [][2]int
+
+	adj       *topo.Adjacency
+	baseComps int
+}
+
+// maxPairCandidates bounds the 2-cut edge-subset search: pairs are
+// drawn from this many trunks, highest gateway-degree first, keeping
+// the search O(k²) censuses on internets with thousands of trunks.
+const maxPairCandidates = 64
+
+// Analyze catalogues the adjacency's weak points. Candidate vertices
+// come from one Tarjan low-link pass over the bipartite graph; each
+// candidate (and each candidate pair) is then verified by an exact
+// union-find census of the damaged graph, because an articulation
+// vertex of the incidence graph need not split *service* — it may
+// merely dangle a hostless net.
+func Analyze(adj *topo.Adjacency) *Analysis {
+	G := len(adj.Gateways)
+	an := &Analysis{adj: adj}
+	gwDown := make([]bool, G)
+	netDown := make([]bool, len(adj.Nets))
+	an.baseComps, _ = serviceCensus(adj, gwDown, netDown)
+
+	art := articulation(adj)
+	for g := 0; g < G; g++ {
+		if !art[g] {
+			continue
+		}
+		gwDown[g] = true
+		if c, _ := serviceCensus(adj, gwDown, netDown); c > an.baseComps {
+			an.CutGateways = append(an.CutGateways, g)
+		}
+		gwDown[g] = false
+	}
+	cutNet := make(map[int]bool)
+	for n := range adj.Nets {
+		if !adj.Trunk(n) || !art[G+n] {
+			continue
+		}
+		netDown[n] = true
+		if c, _ := serviceCensus(adj, gwDown, netDown); c > an.baseComps {
+			an.CutNets = append(an.CutNets, n)
+			cutNet[n] = true
+		}
+		netDown[n] = false
+	}
+
+	// Minimal 2-cuts: pairs of non-bridge trunks whose joint loss
+	// splits service. Bridges are excluded — a pair containing one is
+	// not minimal.
+	var cand []int
+	for n := range adj.Nets {
+		if adj.Trunk(n) && !cutNet[n] {
+			cand = append(cand, n)
+		}
+	}
+	sort.SliceStable(cand, func(i, j int) bool {
+		return len(adj.NetGateways[cand[i]]) > len(adj.NetGateways[cand[j]])
+	})
+	if len(cand) > maxPairCandidates {
+		cand = cand[:maxPairCandidates]
+	}
+	for i := 0; i < len(cand); i++ {
+		for j := i + 1; j < len(cand); j++ {
+			a, b := cand[i], cand[j]
+			if a > b {
+				a, b = b, a
+			}
+			netDown[a], netDown[b] = true, true
+			if c, _ := serviceCensus(adj, gwDown, netDown); c > an.baseComps {
+				an.CutPairs = append(an.CutPairs, [2]int{a, b})
+			}
+			netDown[a], netDown[b] = false, false
+		}
+	}
+	sort.Slice(an.CutPairs, func(i, j int) bool {
+		if an.CutPairs[i][0] != an.CutPairs[j][0] {
+			return an.CutPairs[i][0] < an.CutPairs[j][0]
+		}
+		return an.CutPairs[i][1] < an.CutPairs[j][1]
+	})
+	return an
+}
+
+// CutGatewayNames resolves CutGateways to node names.
+func (an *Analysis) CutGatewayNames() []string {
+	out := make([]string, 0, len(an.CutGateways))
+	for _, g := range an.CutGateways {
+		out = append(out, an.adj.Gateways[g])
+	}
+	return out
+}
+
+// CutNetNames resolves CutNets to net names.
+func (an *Analysis) CutNetNames() []string {
+	out := make([]string, 0, len(an.CutNets))
+	for _, n := range an.CutNets {
+		out = append(out, an.adj.Nets[n])
+	}
+	return out
+}
+
+// serviceCensus unions the bipartite incidence graph with the masked
+// elements removed and reports the service-component count and the
+// weight of the largest component. Service vertices are up gateways
+// and up nets carrying hosts; weight counts gateways plus hosts, so
+// "largest" tracks how much of the internet's population the biggest
+// surviving island holds.
+func serviceCensus(adj *topo.Adjacency, gwDown, netDown []bool) (comps, largest int) {
+	G, N := len(adj.Gateways), len(adj.Nets)
+	parent := make([]int, G+N)
+	for i := range parent {
+		parent[i] = i
+	}
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for g := 0; g < G; g++ {
+		if gwDown[g] {
+			continue
+		}
+		for _, n := range adj.GatewayNets[g] {
+			if netDown[n] {
+				continue
+			}
+			if rg, rn := find(g), find(G+n); rg != rn {
+				parent[rg] = rn
+			}
+		}
+	}
+	weight := make(map[int]int)
+	for g := 0; g < G; g++ {
+		if !gwDown[g] {
+			weight[find(g)]++
+		}
+	}
+	for n := 0; n < N; n++ {
+		if !netDown[n] && adj.HostsOn[n] > 0 {
+			weight[find(G+n)] += adj.HostsOn[n]
+		}
+	}
+	for _, w := range weight {
+		comps++
+		if w > largest {
+			largest = w
+		}
+	}
+	return comps, largest
+}
+
+// articulation runs one Tarjan low-link DFS over the bipartite graph
+// (gateway vertices 0..G-1, net vertices G..G+N-1) and marks every
+// articulation vertex.
+func articulation(adj *topo.Adjacency) []bool {
+	G := len(adj.Gateways)
+	V := G + len(adj.Nets)
+	disc := make([]int, V)
+	low := make([]int, V)
+	art := make([]bool, V)
+	for i := range disc {
+		disc[i] = -1
+	}
+	timer := 0
+	neighbors := func(v int, f func(int)) {
+		if v < G {
+			for _, n := range adj.GatewayNets[v] {
+				f(G + n)
+			}
+		} else {
+			for _, g := range adj.NetGateways[v-G] {
+				f(g)
+			}
+		}
+	}
+	var dfs func(v, parent int)
+	dfs = func(v, parent int) {
+		disc[v] = timer
+		low[v] = timer
+		timer++
+		children := 0
+		neighbors(v, func(w int) {
+			if disc[w] == -1 {
+				children++
+				dfs(w, v)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+				if parent != -1 && low[w] >= disc[v] {
+					art[v] = true
+				}
+			} else if w != parent && disc[w] < low[v] {
+				low[v] = disc[w]
+			}
+		})
+		if parent == -1 && children > 1 {
+			art[v] = true
+		}
+	}
+	for v := 0; v < V; v++ {
+		if disc[v] == -1 {
+			dfs(v, -1)
+		}
+	}
+	return art
+}
+
+// Budget is a failure budget: how much infrastructure an attack (or
+// accident) takes out at once.
+type Budget struct {
+	Cuts    int // trunk nets severed
+	Crashes int // gateways killed
+}
+
+// BudgetFor scales a fraction of infrastructure lost to a concrete
+// budget: frac of the trunks (at least one — a campaign cell that cuts
+// nothing measures nothing) and frac of the gateways, both rounded to
+// nearest.
+func BudgetFor(adj *topo.Adjacency, frac float64) Budget {
+	trunks := adj.TrunkCount()
+	cuts := int(math.Round(frac * float64(trunks)))
+	if cuts < 1 {
+		cuts = 1
+	}
+	if cuts > trunks {
+		cuts = trunks
+	}
+	crashes := int(math.Round(frac * float64(len(adj.Gateways))))
+	if crashes > len(adj.Gateways) {
+		crashes = len(adj.Gateways)
+	}
+	return Budget{Cuts: cuts, Crashes: crashes}
+}
+
+// Targeted spends the budget as an adversary would: a greedy attack on
+// the working graph, each round killing the gateway or cutting the
+// trunk that maximizes service fragmentation (most components,
+// smallest largest-island on ties), with a 2-cut lookahead — when no
+// single remaining trunk splits anything, two budget units go to the
+// best minimal cut pair. Crashes land first so cuts compound on the
+// crashed graph (cut-under-crash). Every step fires at the same
+// instant `at`, making the whole attack one compound event for the
+// injector. Deterministic: ties break on the lowest index.
+func (an *Analysis) Targeted(b Budget, at sim.Duration) fault.Schedule {
+	adj := an.adj
+	G := len(adj.Gateways)
+	gwDown := make([]bool, G)
+	netDown := make([]bool, len(adj.Nets))
+	s := fault.Schedule{Name: "targeted"}
+
+	// eval scores hypothetically removing one more element.
+	evalGw := func(g int) (int, int) {
+		gwDown[g] = true
+		c, l := serviceCensus(adj, gwDown, netDown)
+		gwDown[g] = false
+		return c, l
+	}
+	evalNet := func(n int) (int, int) {
+		netDown[n] = true
+		c, l := serviceCensus(adj, gwDown, netDown)
+		netDown[n] = false
+		return c, l
+	}
+	beats := func(c, l, bestC, bestL int) bool {
+		return c > bestC || (c == bestC && l < bestL)
+	}
+
+	for i := 0; i < b.Crashes; i++ {
+		best, bc, bl := -1, -1, 0
+		for g := 0; g < G; g++ {
+			if gwDown[g] {
+				continue
+			}
+			if c, l := evalGw(g); best == -1 || beats(c, l, bc, bl) {
+				best, bc, bl = g, c, l
+			}
+		}
+		if best < 0 {
+			break
+		}
+		gwDown[best] = true
+		s.Steps = append(s.Steps, fault.Step{At: at, Op: fault.OpCrash, Target: adj.Gateways[best]})
+	}
+
+	curComps, _ := serviceCensus(adj, gwDown, netDown)
+	for left := b.Cuts; left > 0; {
+		best, bc, bl := -1, -1, 0
+		for n := range adj.Nets {
+			if !adj.Trunk(n) || netDown[n] {
+				continue
+			}
+			if c, l := evalNet(n); best == -1 || beats(c, l, bc, bl) {
+				best, bc, bl = n, c, l
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if bc <= curComps && left >= 2 {
+			// No single trunk splits what's left; a minimal 2-cut might.
+			pBest, pc, pl := -1, -1, 0
+			for pi, pair := range an.CutPairs {
+				if netDown[pair[0]] || netDown[pair[1]] {
+					continue
+				}
+				netDown[pair[0]], netDown[pair[1]] = true, true
+				c, l := serviceCensus(adj, gwDown, netDown)
+				netDown[pair[0]], netDown[pair[1]] = false, false
+				if pBest == -1 || beats(c, l, pc, pl) {
+					pBest, pc, pl = pi, c, l
+				}
+			}
+			if pBest >= 0 && pc > bc {
+				pair := an.CutPairs[pBest]
+				netDown[pair[0]], netDown[pair[1]] = true, true
+				s.Steps = append(s.Steps,
+					fault.Step{At: at, Op: fault.OpCut, Target: adj.Nets[pair[0]]},
+					fault.Step{At: at, Op: fault.OpCut, Target: adj.Nets[pair[1]]})
+				left -= 2
+				curComps = pc
+				continue
+			}
+		}
+		netDown[best] = true
+		s.Steps = append(s.Steps, fault.Step{At: at, Op: fault.OpCut, Target: adj.Nets[best]})
+		left--
+		curComps = bc
+	}
+	return s
+}
+
+// RandomSchedule spends the same budget blindly: crashes and cuts drawn
+// uniformly without replacement from the gateways and trunks, all at
+// instant `at` — the matched-budget baseline the targeted frontier is
+// measured against. The same rng state always yields the same
+// schedule.
+func RandomSchedule(adj *topo.Adjacency, b Budget, rng *rand.Rand, at sim.Duration) fault.Schedule {
+	s := fault.Schedule{Name: "random"}
+	nCrash := b.Crashes
+	if nCrash > len(adj.Gateways) {
+		nCrash = len(adj.Gateways)
+	}
+	for _, g := range rng.Perm(len(adj.Gateways))[:nCrash] {
+		s.Steps = append(s.Steps, fault.Step{At: at, Op: fault.OpCrash, Target: adj.Gateways[g]})
+	}
+	var trunks []int
+	for n := range adj.Nets {
+		if adj.Trunk(n) {
+			trunks = append(trunks, n)
+		}
+	}
+	nCut := b.Cuts
+	if nCut > len(trunks) {
+		nCut = len(trunks)
+	}
+	for _, i := range rng.Perm(len(trunks))[:nCut] {
+		s.Steps = append(s.Steps, fault.Step{At: at, Op: fault.OpCut, Target: adj.Nets[trunks[i]]})
+	}
+	return s
+}

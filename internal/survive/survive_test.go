@@ -1,0 +1,243 @@
+package survive
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"darpanet/internal/fault"
+	"darpanet/internal/topo"
+)
+
+// bruteSplits reports whether removing the masked elements increases
+// the service-component count over the intact graph — the exhaustive
+// check Analyze's Tarjan-pruned search is verified against.
+func bruteSplits(adj *topo.Adjacency, gwDown, netDown []bool) bool {
+	base, _ := serviceCensus(adj, make([]bool, len(adj.Gateways)), make([]bool, len(adj.Nets)))
+	c, _ := serviceCensus(adj, gwDown, netDown)
+	return c > base
+}
+
+// TestWeakPointsMatchBruteForce is the property test the tentpole asks
+// for: on random transit-stub and Waxman internets × 3 seeds, every
+// reported articulation gateway / bridge trunk strictly increases the
+// component count when removed, every unreported one does not, and the
+// 2-cut catalogue matches exhaustive pair removal.
+func TestWeakPointsMatchBruteForce(t *testing.T) {
+	specs := []string{
+		"transitstub:gw=3,stubs=2,hosts=1,mix=0",
+		"transitstub:gw=4,stubs=3,hosts=2,mix=1",
+		"waxman:gw=10,hosts=1",
+		"waxman:gw=16,hosts=2,mix=1",
+	}
+	for _, sp := range specs {
+		spec, err := topo.ParseSpec(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(1); seed <= 3; seed++ {
+			_, m := topo.Generate(spec, seed)
+			adj := m.Adjacency()
+			an := Analyze(adj)
+
+			gwDown := make([]bool, len(adj.Gateways))
+			netDown := make([]bool, len(adj.Nets))
+			inCutGws := map[int]bool{}
+			for _, g := range an.CutGateways {
+				inCutGws[g] = true
+			}
+			for g := range adj.Gateways {
+				gwDown[g] = true
+				splits := bruteSplits(adj, gwDown, netDown)
+				gwDown[g] = false
+				if splits != inCutGws[g] {
+					t.Errorf("%s/seed%d: gateway %s: brute-force split=%v, reported=%v",
+						sp, seed, adj.Gateways[g], splits, inCutGws[g])
+				}
+			}
+
+			inCutNets := map[int]bool{}
+			for _, n := range an.CutNets {
+				inCutNets[n] = true
+			}
+			for n := range adj.Nets {
+				netDown[n] = true
+				splits := bruteSplits(adj, gwDown, netDown)
+				netDown[n] = false
+				if adj.Trunk(n) {
+					if splits != inCutNets[n] {
+						t.Errorf("%s/seed%d: trunk %s: brute-force split=%v, reported=%v",
+							sp, seed, adj.Nets[n], splits, inCutNets[n])
+					}
+				} else if splits {
+					t.Errorf("%s/seed%d: non-trunk %s splits service on removal — model broken",
+						sp, seed, adj.Nets[n])
+				}
+			}
+
+			// 2-cuts, exhaustively — the topologies here are small enough
+			// that the candidate cap never bites.
+			if adj.TrunkCount() > maxPairCandidates {
+				t.Fatalf("%s/seed%d: %d trunks exceeds the pair-candidate cap; shrink the spec",
+					sp, seed, adj.TrunkCount())
+			}
+			inPairs := map[[2]int]bool{}
+			for _, p := range an.CutPairs {
+				inPairs[p] = true
+			}
+			for a := range adj.Nets {
+				if !adj.Trunk(a) || inCutNets[a] {
+					continue
+				}
+				for b := a + 1; b < len(adj.Nets); b++ {
+					if !adj.Trunk(b) || inCutNets[b] {
+						continue
+					}
+					netDown[a], netDown[b] = true, true
+					splits := bruteSplits(adj, gwDown, netDown)
+					netDown[a], netDown[b] = false, false
+					if splits != inPairs[[2]int{a, b}] {
+						t.Errorf("%s/seed%d: pair (%s,%s): brute-force split=%v, reported=%v",
+							sp, seed, adj.Nets[a], adj.Nets[b], splits, inPairs[[2]int{a, b}])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWeakPointsSplitLiveNetwork closes the model/reality gap: cutting
+// a reported bridge (or crashing a reported articulation gateway) on
+// the live generated network must partition it per the core
+// reachability census, and a redundant trunk must not.
+func TestWeakPointsSplitLiveNetwork(t *testing.T) {
+	spec, err := topo.ParseSpec("transitstub:gw=3,stubs=2,hosts=1,mix=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, m := topo.Generate(spec, 2)
+	adj := m.Adjacency()
+	an := Analyze(adj)
+	if len(an.CutNets) == 0 || len(an.CutGateways) == 0 {
+		t.Fatalf("transit-stub internet reported no weak points: %+v", an)
+	}
+	if c := nw.PartitionCensus(); c.Components != 1 {
+		t.Fatalf("intact internet has %d components", c.Components)
+	}
+	for _, name := range an.CutNetNames() {
+		nw.SetNetDown(name, true)
+		if c := nw.PartitionCensus(); c.Components < 2 {
+			t.Errorf("cutting bridge %s left %d component(s)", name, c.Components)
+		}
+		nw.SetNetDown(name, false)
+	}
+	for _, name := range an.CutGatewayNames() {
+		nw.CrashNode(name)
+		c := nw.PartitionCensus()
+		if c.Components < 2 {
+			t.Errorf("crashing articulation gateway %s left %d component(s)", name, c.Components)
+		}
+		nw.RestoreNode(name)
+	}
+	// A ring trunk is redundant: its loss must not partition.
+	cut := map[int]bool{}
+	for _, n := range an.CutNets {
+		cut[n] = true
+	}
+	for n := range adj.Nets {
+		if adj.Trunk(n) && !cut[n] {
+			nw.SetNetDown(adj.Nets[n], true)
+			if c := nw.PartitionCensus(); c.Components != 1 {
+				t.Errorf("cutting redundant trunk %s partitioned the internet", adj.Nets[n])
+			}
+			nw.SetNetDown(adj.Nets[n], false)
+		}
+	}
+}
+
+// TestTargetedScheduleShape checks the campaign generator: budgets are
+// honored, every step fires at the same instant (one compound event),
+// the same analysis yields the same attack twice, and the targeted
+// attack on a transit-stub internet actually partitions its model
+// graph.
+func TestTargetedScheduleShape(t *testing.T) {
+	spec, err := topo.ParseSpec("transitstub:gw=4,stubs=4,hosts=1,mix=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m := topo.Generate(spec, 7)
+	adj := m.Adjacency()
+	an := Analyze(adj)
+	b := BudgetFor(adj, 0.10)
+	if b.Cuts < 1 || b.Crashes < 1 {
+		t.Fatalf("10%% of %d trunks / %d gateways gave empty budget %+v", adj.TrunkCount(), len(adj.Gateways), b)
+	}
+
+	at := 5 * time.Second
+	s1 := an.Targeted(b, at)
+	s2 := an.Targeted(b, at)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("targeted schedule not deterministic:\n%s\nvs\n%s", s1, s2)
+	}
+	cuts, crashes := 0, 0
+	gwDown := make([]bool, len(adj.Gateways))
+	netDown := make([]bool, len(adj.Nets))
+	idx := func(names []string, want string) int {
+		for i, n := range names {
+			if n == want {
+				return i
+			}
+		}
+		t.Fatalf("unknown target %q", want)
+		return -1
+	}
+	for _, st := range s1.Steps {
+		if st.At != at {
+			t.Errorf("step at %s, want all at %s", st.At, at)
+		}
+		switch st.Op {
+		case fault.OpCut:
+			cuts++
+			netDown[idx(adj.Nets, st.Target)] = true
+		case fault.OpCrash:
+			crashes++
+			gwDown[idx(adj.Gateways, st.Target)] = true
+		default:
+			t.Errorf("unexpected op %s", st.Op)
+		}
+	}
+	if cuts > b.Cuts || crashes != b.Crashes {
+		t.Errorf("spent %d cuts / %d crashes on budget %+v", cuts, crashes, b)
+	}
+	if c, _ := serviceCensus(adj, gwDown, netDown); c <= an.baseComps {
+		t.Errorf("targeted attack left %d component(s) — no worse than intact (%d)", c, an.baseComps)
+	}
+}
+
+// TestRandomScheduleMatchedBudget checks the baseline generator:
+// deterministic per rng state, distinct across seeds, and spending
+// exactly the budget.
+func TestRandomScheduleMatchedBudget(t *testing.T) {
+	spec, err := topo.ParseSpec("transitstub:gw=4,stubs=4,hosts=1,mix=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m := topo.Generate(spec, 7)
+	adj := m.Adjacency()
+	b := BudgetFor(adj, 0.20)
+
+	at := 5 * time.Second
+	s1 := RandomSchedule(adj, b, rand.New(rand.NewSource(3)), at)
+	s2 := RandomSchedule(adj, b, rand.New(rand.NewSource(3)), at)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("same rng state, different random schedules")
+	}
+	s3 := RandomSchedule(adj, b, rand.New(rand.NewSource(4)), at)
+	if reflect.DeepEqual(s1, s3) {
+		t.Fatal("different rng states drew identical schedules")
+	}
+	if got, want := len(s1.Steps), b.Cuts+b.Crashes; got != want {
+		t.Fatalf("random schedule spent %d steps, budget allows %d", got, want)
+	}
+}

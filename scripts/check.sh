@@ -53,4 +53,10 @@ cmp "$tmpdir/p1.json" "$tmpdir/pn.json"
 go run ./cmd/experiments -only E13-T -qdisc 'droptail+ecn' -cc 'naive+reno' -runs 2 -seed 1988 -parallel 1 -leaderboard "$tmpdir/lb1.json" > /dev/null
 go run ./cmd/experiments -only E13-T -qdisc 'droptail+ecn' -cc 'naive+reno' -runs 2 -seed 1988 -parallel 3 -leaderboard "$tmpdir/lb3.json" > /dev/null
 cmp "$tmpdir/lb1.json" "$tmpdir/lb3.json"
+# E14 smoke: targeted-vs-random fault campaigns on a small internet,
+# with the survivability frontier required byte-identical at any worker
+# count.
+go run ./cmd/experiments -only E14 -stopo 'transitstub:gw=3,stubs=2,hosts=1,mix=0' -sfracs '10,20' -runs 2 -seed 1988 -parallel 1 -survive "$tmpdir/sf1.json" > /dev/null
+go run ./cmd/experiments -only E14 -stopo 'transitstub:gw=3,stubs=2,hosts=1,mix=0' -sfracs '10,20' -runs 2 -seed 1988 -parallel 3 -survive "$tmpdir/sf3.json" > /dev/null
+cmp "$tmpdir/sf1.json" "$tmpdir/sf3.json"
 scripts/benchguard.sh

@@ -31,17 +31,25 @@
 // internal/phys policy spec ("droptail", "red:min=64,max=256,maxp=0.1",
 // "ecn"), for E13-T a "+"-separated list restricting the tournament
 // grid. -cc does the same for the host congestion response (naive,
-// tahoe, reno). -leaderboard writes the E13-T campaign's ranked
-// leaderboard as darpanet/tournament/v1 JSON.
+// tahoe, reno, newreno). -ttopo selects the internet the tournament
+// collapses on (transitstub or waxman); the topology id is carried in
+// every tournament metric path and leaderboard entry. -leaderboard
+// writes the E13-T campaign's ranked leaderboard as
+// darpanet/tournament/v2 JSON.
 //
 // -stopo overrides E14's generated internet with an internal/topo spec
 // and -sfracs its loss sweep as comma-separated percentages, e.g.
 // -stopo transitstub:gw=6,stubs=3 -sfracs 5,10,25. -survive writes the
 // E14 campaign's survivability frontier as darpanet/survive/v1 JSON.
 //
+// -shards sets E16's worker count: the 2000-gateway internet is always
+// partitioned into the same region shards, and N workers advance them
+// in lock-step epochs. Results are byte-identical at every -shards
+// value; only wall-clock changes.
+//
 // Usage:
 //
-//	experiments [-seed N] [-only E1,E5] [-runs N] [-parallel N] [-json file] [-faults sched] [-topo spec] [-workload spec] [-qdisc spec] [-cc list] [-leaderboard file] [-stopo spec] [-sfracs pcts] [-survive file] [-metrics]
+//	experiments [-seed N] [-only E1,E5] [-runs N] [-parallel N] [-json file] [-faults sched] [-topo spec] [-workload spec] [-qdisc spec] [-cc list] [-ttopo id] [-leaderboard file] [-stopo spec] [-sfracs pcts] [-survive file] [-shards N] [-metrics]
 package main
 
 import (
@@ -121,11 +129,13 @@ func main() {
 	topoSpec := flag.String("topo", "", "E12 topology spec, 'shape:key=val,...' (shapes: line, ring, tree, transitstub, waxman)")
 	workloadSpec := flag.String("workload", "", "E13 traffic mix, 'key=val,...' (keys: bulk, inter, rr, voice, rate, alpha, min, max, think_ms, vj, naive, ecn, onoff, on_ms, off_ms, cc)")
 	qdisc := flag.String("qdisc", "", "gateway queue policy: E13 takes one spec (droptail|red|ecn[:k=v,...]), E13-T a '+'-separated grid restriction")
-	ccFlag := flag.String("cc", "", "host congestion response: E13 takes one name (naive|tahoe|reno), E13-T a '+'-separated grid restriction")
-	leaderboard := flag.String("leaderboard", "", "write the E13-T campaign's ranked leaderboard to this file as darpanet/tournament/v1 JSON")
+	ccFlag := flag.String("cc", "", "host congestion response: E13 takes one name (naive|tahoe|reno|newreno), E13-T a '+'-separated grid restriction")
+	tTopo := flag.String("ttopo", "", "E13-T topology id: transitstub (default) or waxman; carried in every tournament metric path")
+	leaderboard := flag.String("leaderboard", "", "write the E13-T campaign's ranked leaderboard to this file as darpanet/tournament/v2 JSON")
 	sTopo := flag.String("stopo", "", "E14 topology spec, 'shape:key=val,...' (same syntax as -topo)")
 	sFracs := flag.String("sfracs", "", "E14 loss sweep as comma-separated percentages of infrastructure lost, e.g. '2,5,10,20'")
 	surviveOut := flag.String("survive", "", "write the E14 campaign's survivability frontier to this file as darpanet/survive/v1 JSON")
+	shards := flag.Int("shards", 1, "E16 worker count (results are byte-identical at any value; only wall time changes)")
 	flag.Parse()
 
 	e11Run := exp.RunE11
@@ -150,7 +160,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	ccs, err := parseCCs(nonEmpty(*ccFlag, "naive+tahoe+reno"))
+	ccs, err := parseCCs(nonEmpty(*ccFlag, "naive+tahoe+reno+newreno"))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -173,14 +183,17 @@ func main() {
 	}
 
 	e13tRun := exp.RunE13T
-	if *qdisc != "" || *ccFlag != "" {
+	if *qdisc != "" || *ccFlag != "" || *tTopo != "" {
 		var cells []exp.E13TCell
 		for _, p := range policies {
 			for _, cc := range ccs {
 				cells = append(cells, exp.E13TCell{Policy: p, CC: cc})
 			}
 		}
-		e13tRun = exp.RunE13TGrid(cells, nil, 0, 0)
+		if e13tRun, err = exp.RunE13TGrid(*tTopo, cells, nil, 0, 0); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	e14Run := exp.RunE14
@@ -243,6 +256,9 @@ func main() {
 			if *qdisc != "" || *ccFlag != "" {
 				e.Title += fmt.Sprintf(" [%d-cell grid]", len(policies)*len(ccs))
 			}
+			if *tTopo != "" {
+				e.Title += " [-ttopo " + *tTopo + "]"
+			}
 		}
 		if e.ID == "E14" {
 			e.Run = e14Run
@@ -252,6 +268,12 @@ func main() {
 			if *sFracs != "" {
 				e.Title += " [-sfracs " + *sFracs + "]"
 			}
+		}
+		// No title suffix for -shards: the worker count must not leave a
+		// trace in the report, which is compared byte for byte across
+		// shard counts.
+		if e.ID == "E16" && *shards != 1 {
+			e.Run = exp.RunE16Workers(*shards)
 		}
 		start := time.Now()
 		c := harness.Campaign{
@@ -341,9 +363,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s (%d-cell leaderboard, schema darpanet/tournament/v1)\n", *leaderboard, len(t.Entries))
+		fmt.Printf("wrote %s (%d-cell leaderboard, schema darpanet/tournament/v2)\n", *leaderboard, len(t.Entries))
 		for _, e := range t.Entries {
-			fmt.Printf("  #%d %-18s score %.3f (collapse %.2f, peak %.2f Mb/s, jain %.3f)\n",
+			fmt.Printf("  #%d %-28s score %.3f (collapse %.2f, peak %.2f Mb/s, jain %.3f)\n",
 				e.Rank, e.Name, e.Score, e.CollapseRatio, e.PeakGoodputBps/1e6, e.Jain)
 		}
 	}

@@ -32,6 +32,7 @@ const (
 	LAN   NetKind = iota // shared bus, Ethernet-like
 	P2P                  // point-to-point trunk, ARPANET-like
 	Radio                // lossy broadcast net, packet-radio-like
+	Cross                // cross-shard boundary trunk; built by ConnectShards, not AddNet
 )
 
 // netInfo tracks one network and the stations on it.
@@ -65,6 +66,13 @@ type Network struct {
 	// topology changes (AttachNodeToNet, new nodes) recompute the
 	// oracle instead of leaving the newcomers silently unrouted.
 	staticOracle bool
+
+	// aggregate turns on default-route collapse in the static oracle:
+	// a node whose computed routes all share one next hop gets a single
+	// 0.0.0.0/0 instead of a route per net. aggDefault remembers which
+	// nodes hold such a collapsed default so a recompute can retract it.
+	aggregate  bool
+	aggDefault map[*stack.Node]bool
 }
 
 // New creates an empty network driven by a fresh kernel seeded with seed.
@@ -77,6 +85,8 @@ func New(seed int64) *Network {
 		rips:     make(map[string]*rip.Router),
 		nets:     make(map[string]*netInfo),
 		byPrefix: make(map[ipv4.Prefix]*netInfo),
+
+		aggDefault: make(map[*stack.Node]bool),
 	}
 }
 
@@ -103,6 +113,8 @@ func (nw *Network) AddNet(name, prefix string, kind NetKind, cfg phys.Config) {
 		m = phys.NewP2P(nw.kernel, name, cfg)
 	case Radio:
 		m = phys.NewRadio(nw.kernel, name, cfg)
+	case Cross:
+		panic("core: cross-shard nets are built with ConnectShards, not AddNet")
 	default:
 		panic("core: unknown net kind")
 	}
@@ -197,6 +209,49 @@ func (nw *Network) AttachNodeToNet(node, net string) *stack.Interface {
 		nw.recomputeStaticRoutes()
 	}
 	return ifc
+}
+
+// ConnectShards joins a node of region network na to a node of region
+// network nb with a cross-shard boundary trunk: the only coupling two
+// region kernels of a sharded simulation share. The link appears as a
+// net named name (prefix prefix) in *both* networks — each side sees
+// its own half with its own station; frames cross at the shard group's
+// epoch barrier (phys.Boundary). cfg.Delay is mandatory: it is the
+// lookahead the link contributes to the group. The halves are returned
+// so the builder can wire the barrier exchange (Drain in fixed order).
+func ConnectShards(na, nb *Network, nodeA, nodeB, name, prefix string, cfg phys.Config) (*phys.Boundary, *phys.Boundary) {
+	if na == nb {
+		panic("core: ConnectShards needs two distinct region networks (use AddNet for an intra-region trunk)")
+	}
+	p := ipv4.MustParsePrefix(prefix)
+	ba, bb := phys.NewBoundaryPair(na.kernel, nb.kernel, name, cfg)
+	reg := func(nw *Network, m phys.Medium, firstHost int) {
+		if _, dup := nw.nets[name]; dup {
+			panic(fmt.Sprintf("core: duplicate net %q", name))
+		}
+		if _, dup := nw.byPrefix[p]; dup {
+			panic(fmt.Sprintf("core: duplicate prefix %s", p))
+		}
+		ni := &netInfo{name: name, kind: Cross, medium: m, prefix: p, nextHost: firstHost}
+		nw.nets[name] = ni
+		nw.byPrefix[p] = ni
+		nw.netOrder = append(nw.netOrder, name)
+	}
+	reg(na, ba, 1) // half a's station is prefix.Host(1), link address 1
+	reg(nb, bb, 2) // half b's is Host(2), link address 2 — as on a P2P trunk
+	ifa := na.attach(na.mustNode(nodeA), name)
+	ifb := nb.attach(nb.mustNode(nodeB), name)
+	// attach never saw the peer station (it lives in the other kernel):
+	// cross-wire the neighbor entries by hand.
+	ifa.AddNeighbor(ifb.Addr, bb.NIC().Addr())
+	ifb.AddNeighbor(ifa.Addr, ba.NIC().Addr())
+	if na.staticOracle {
+		na.recomputeStaticRoutes()
+	}
+	if nb.staticOracle {
+		nb.recomputeStaticRoutes()
+	}
+	return ba, bb
 }
 
 // Node returns the named node.
@@ -295,91 +350,329 @@ func (nw *Network) InstallStaticRoutes() {
 	nw.recomputeStaticRoutes()
 }
 
+// SetRouteAggregation turns default-route collapse on or off for the
+// static oracle: when on, a node whose computed next hop is the same for
+// every reachable net — a host behind one gateway, a stub gateway behind
+// one trunk — gets a single 0.0.0.0/0 route instead of one route per
+// net. On a generated 2000-gateway internet this shrinks the installed
+// route count (and recompute memory) by orders of magnitude.
+//
+// It is opt-in because collapse is visible: a collapsed node forwards
+// datagrams for *unknown* destinations toward its uplink instead of
+// reporting no-route locally. Experiments that count NoRoute drops or
+// golden-trace the small topologies keep the exact per-net tables.
+func (nw *Network) SetRouteAggregation(on bool) {
+	if nw.aggregate == on {
+		return
+	}
+	nw.aggregate = on
+	if nw.staticOracle {
+		nw.recomputeStaticRoutes()
+	}
+}
+
 // recomputeStaticRoutes drops every previously installed topology-derived
 // static route and re-runs the all-pairs computation. Static routes whose
 // prefix is not one of the topology's networks (operator-set defaults via
-// SetDefaultRoute) are left alone.
+// SetDefaultRoute) are left alone; collapsed defaults a previous
+// aggregated recompute installed are retracted via aggDefault.
+//
+// The graph is flattened once per recompute into integer-indexed arrays
+// (a CSR adjacency over node indices, epoch-stamped visit marks), so the
+// per-net BFS touches no maps and allocates nothing: at 2000 gateways
+// the old pointer-keyed scratch map spent the whole recompute hashing.
+// Edge order mirrors the old nested iteration exactly — interfaces in
+// attach order, stations in attach order — so the computed routes, and
+// the order they install in, are unchanged.
 func (nw *Network) recomputeStaticRoutes() {
 	for _, name := range nw.order {
-		nw.nodes[name].Table.RemoveIf(func(r stack.Route) bool {
-			return r.Source == stack.SourceStatic && nw.byPrefix[r.Prefix] != nil
+		n := nw.nodes[name]
+		n.Table.RemoveIf(func(r stack.Route) bool {
+			if r.Source != stack.SourceStatic {
+				return false
+			}
+			return nw.byPrefix[r.Prefix] != nil || (r.Prefix.Bits == 0 && nw.aggDefault[n])
 		})
+		delete(nw.aggDefault, n)
 	}
 
-	// Nets in sorted-prefix order, so each node's routes install in the
-	// same deterministic order the old per-node walk used.
-	names := make([]string, len(nw.netOrder))
-	copy(names, nw.netOrder)
-	sort.Slice(names, func(i, j int) bool {
-		pi, pj := nw.nets[names[i]].prefix, nw.nets[names[j]].prefix
+	nodes := make([]*stack.Node, len(nw.order))
+	for i, name := range nw.order {
+		nodes[i] = nw.nodes[name]
+	}
+	nets := make([]oracleNet, 0, len(nw.netOrder))
+	for _, name := range nw.netOrder {
+		ni := nw.nets[name]
+		nets = append(nets, oracleNet{prefix: ni.prefix, stations: ni.stations})
+	}
+	computeStaticRoutes(nodes, nets, nw.aggregate, func(n *stack.Node) { nw.aggDefault[n] = true })
+}
+
+// InstallStaticRoutesAcross runs the static oracle globally over a set
+// of region networks joined by ConnectShards boundary links: one
+// all-pairs computation over the union graph, crossing shard boundaries
+// exactly where a boundary net holds a station in each region. Route
+// aggregation is always on here — a 2000-gateway internet's stub tier
+// would otherwise install tens of millions of routes — so nodes with a
+// single uplink get one default route and only the transit tier carries
+// full tables.
+//
+// Call it after the sharded topology is final: unlike the per-network
+// oracle it does not re-run on later topology changes, and a region's
+// own InstallStaticRoutes afterwards would tear out the cross-region
+// state it cannot rebuild.
+func InstallStaticRoutesAcross(regions []*Network) {
+	all := make(map[ipv4.Prefix]bool)
+	for _, nw := range regions {
+		for _, ni := range nw.nets {
+			all[ni.prefix] = true
+		}
+	}
+	for _, nw := range regions {
+		for _, name := range nw.order {
+			n := nw.nodes[name]
+			n.Table.RemoveIf(func(r stack.Route) bool {
+				if r.Source != stack.SourceStatic {
+					return false
+				}
+				return all[r.Prefix] || (r.Prefix.Bits == 0 && nw.aggDefault[n])
+			})
+			delete(nw.aggDefault, n)
+		}
+	}
+
+	// Merge: nodes in region order, nets unified by prefix — a boundary
+	// net appears in two regions and contributes one station from each,
+	// which is precisely the edge the BFS crosses regions on.
+	var nodes []*stack.Node
+	owner := make(map[*stack.Node]*Network)
+	merged := make(map[ipv4.Prefix]int)
+	var nets []oracleNet
+	for _, nw := range regions {
+		for _, name := range nw.order {
+			n := nw.nodes[name]
+			nodes = append(nodes, n)
+			owner[n] = nw
+		}
+		for _, name := range nw.netOrder {
+			ni := nw.nets[name]
+			j, ok := merged[ni.prefix]
+			if !ok {
+				j = len(nets)
+				merged[ni.prefix] = j
+				nets = append(nets, oracleNet{prefix: ni.prefix})
+			}
+			nets[j].stations = append(nets[j].stations, ni.stations...)
+		}
+	}
+	computeStaticRoutes(nodes, nets, true, func(n *stack.Node) { owner[n].aggDefault[n] = true })
+}
+
+// oracleNet is one destination network as the static oracle sees it.
+type oracleNet struct {
+	prefix   ipv4.Prefix
+	stations []station
+}
+
+// computeStaticRoutes is the static oracle's core: a multi-source
+// reverse BFS per destination net over the station graph, installing a
+// static route (metric = gateway hops) on every node that can reach the
+// net. nets may arrive in any order; they are processed in sorted-prefix
+// order so each node's routes install deterministically.
+//
+// The graph is flattened once into integer-indexed arrays — a CSR
+// adjacency, epoch-stamped visit marks — so the per-net BFS touches no
+// maps and allocates nothing: at 2000 gateways a pointer-keyed scratch
+// map spends the whole recompute hashing. Edge order mirrors the
+// original nested iteration exactly (interfaces in attach order,
+// stations in attach order), so the computed routes, and the order they
+// install in, match the historical per-net walk.
+//
+// With aggregate set, a node whose next hop is uniform across every
+// reachable net collapses to a single 0.0.0.0/0 route; noteAgg records
+// each node that received one so a recompute can retract it. A node
+// holding an operator default (SetDefaultRoute) to the same next hop is
+// left as-is; to a different next hop, it keeps its full table.
+func computeStaticRoutes(nodes []*stack.Node, nets []oracleNet, aggregate bool, noteAgg func(*stack.Node)) {
+	sort.Slice(nets, func(i, j int) bool {
+		pi, pj := nets[i].prefix, nets[j].prefix
 		if pi.Addr != pj.Addr {
 			return pi.Addr < pj.Addr
 		}
 		return pi.Bits < pj.Bits
 	})
 
-	type arrival struct {
-		via     ipv4.Addr // next-hop neighbor address
-		ifIndex int       // outgoing interface at the routed node
-		dist    int
+	idxOf := make(map[*stack.Node]int32, len(nodes))
+	for i, n := range nodes {
+		idxOf[n] = int32(i)
 	}
-	// Scratch reused across nets; keyed by node pointer.
-	seen := make(map[*stack.Node]arrival, len(nw.order))
-	queue := make([]*stack.Node, 0, len(nw.order))
-
-	for _, netName := range names {
-		ni := nw.nets[netName]
-		p := ni.prefix
-		for n := range seen {
-			delete(seen, n)
+	netIdx := make(map[ipv4.Prefix]int32, len(nets))
+	for i := range nets {
+		netIdx[nets[i].prefix] = int32(i)
+	}
+	type edge struct {
+		to, net int32
+		ifIdx   int32     // incoming interface at the reached node
+		via     ipv4.Addr // next-hop address (the relaying node's)
+	}
+	estart := make([]int32, len(nodes)+1)
+	var edges []edge
+	for i, b := range nodes {
+		estart[i] = int32(len(edges))
+		for _, bi := range b.Interfaces() {
+			bn, ok := netIdx[bi.Prefix]
+			if !ok {
+				continue
+			}
+			for _, st := range nets[bn].stations {
+				if st.node == b {
+					continue
+				}
+				edges = append(edges, edge{
+					to: idxOf[st.node], net: bn,
+					ifIdx: int32(st.ifc.Index), via: bi.Addr,
+				})
+			}
 		}
+	}
+	estart[len(nodes)] = int32(len(edges))
+
+	type arrival struct {
+		via     ipv4.Addr
+		ifIndex int32
+		dist    int32
+	}
+	arr := make([]arrival, len(nodes))
+	mark := make([]uint32, len(nodes)) // visited in epoch e iff mark==e
+	queue := make([]int32, 0, len(nodes))
+	var epoch uint32
+
+	// bfs runs the multi-source reverse BFS for destination net dn,
+	// leaving the reached set (sources first, distance order) in queue.
+	bfs := func(dn int32) {
+		epoch++
 		queue = queue[:0]
 		// Multi-source start: every station of the destination net is at
 		// distance 0 (it holds the direct route already).
-		for _, st := range ni.stations {
-			if _, ok := seen[st.node]; ok {
+		for _, st := range nets[dn].stations {
+			i := idxOf[st.node]
+			if mark[i] == epoch {
 				continue
 			}
-			seen[st.node] = arrival{}
-			queue = append(queue, st.node)
+			mark[i] = epoch
+			arr[i] = arrival{}
+			queue = append(queue, i)
 		}
 		for qi := 0; qi < len(queue); qi++ {
 			b := queue[qi]
 			// A path toward the net relays through b, so b must forward;
 			// hosts terminate the search (they still *receive* routes —
 			// they were enqueued — they just route nothing onward).
-			if !b.Forwarding {
+			if !nodes[b].Forwarding {
 				continue
 			}
-			d := seen[b].dist
-			for _, bi := range b.Interfaces() {
-				bn := nw.byPrefix[bi.Prefix]
-				if bn == nil || bn == ni {
+			d := arr[b].dist
+			for _, e := range edges[estart[b]:estart[b+1]] {
+				if e.net == dn || mark[e.to] == epoch {
 					continue
 				}
-				for _, st := range bn.stations {
-					a := st.node
-					if _, ok := seen[a]; ok || a == b {
-						continue
-					}
-					seen[a] = arrival{via: bi.Addr, ifIndex: st.ifc.Index, dist: d + 1}
-					queue = append(queue, a)
-				}
+				mark[e.to] = epoch
+				arr[e.to] = arrival{via: e.via, ifIndex: e.ifIdx, dist: d + 1}
+				queue = append(queue, e.to)
 			}
 		}
-		for _, a := range queue {
-			arr := seen[a]
-			if arr.dist == 0 {
+	}
+
+	// With aggregation on, a first sweep finds the nodes whose next hop
+	// is uniform across every reachable net: those collapse to one
+	// default route.
+	var collapse, covered []bool
+	var uVia []ipv4.Addr
+	var uIf []int32
+	if aggregate {
+		cnt := make([]int32, len(nodes))
+		uniform := make([]bool, len(nodes))
+		uVia = make([]ipv4.Addr, len(nodes))
+		uIf = make([]int32, len(nodes))
+		for dn := range nets {
+			bfs(int32(dn))
+			for _, i := range queue {
+				if arr[i].dist == 0 {
+					continue
+				}
+				if cnt[i] == 0 {
+					uniform[i], uVia[i], uIf[i] = true, arr[i].via, arr[i].ifIndex
+				} else if uniform[i] && (uVia[i] != arr[i].via || uIf[i] != arr[i].ifIndex) {
+					uniform[i] = false
+				}
+				cnt[i]++
+			}
+		}
+		collapse = make([]bool, len(nodes))
+		covered = make([]bool, len(nodes))
+		for i, n := range nodes {
+			if cnt[i] == 0 || !uniform[i] {
+				continue
+			}
+			var op *stack.Route
+			for _, r := range n.Table.Routes() {
+				if r.Prefix.Bits == 0 && r.Source == stack.SourceStatic {
+					r := r
+					op = &r
+					break
+				}
+			}
+			switch {
+			case op == nil:
+				collapse[i] = true
+			case op.Via == uVia[i] && op.IfIndex == int(uIf[i]):
+				collapse[i], covered[i] = true, true // operator default already points there
+			}
+		}
+	}
+
+	// Install in one batch per node: routes are buffered per node in
+	// destination order (the order the Adds would happen in), then
+	// handed to AddBatch so each table sizes its slice and index once —
+	// a transit gateway on a 2000-gateway internet takes thousands.
+	pending := make([][]stack.Route, len(nodes))
+	for dn := range nets {
+		bfs(int32(dn))
+		p := nets[dn].prefix
+		for _, i := range queue {
+			if arr[i].dist == 0 {
 				continue // attached directly; the direct route wins anyway
 			}
-			a.Table.Add(stack.Route{
+			if collapse != nil && collapse[i] {
+				continue // replaced by the node's single default route
+			}
+			pending[i] = append(pending[i], stack.Route{
 				Prefix:  p,
-				Via:     arr.via,
-				IfIndex: arr.ifIndex,
-				Metric:  arr.dist,
+				Via:     arr[i].via,
+				IfIndex: int(arr[i].ifIndex),
+				Metric:  int(arr[i].dist),
 				Source:  stack.SourceStatic,
 			})
 		}
+	}
+	for i, n := range nodes {
+		if len(pending[i]) > 0 {
+			n.Table.AddBatch(pending[i])
+		}
+	}
+
+	for i, n := range nodes {
+		if collapse == nil || !collapse[i] || covered[i] {
+			continue
+		}
+		n.Table.Add(stack.Route{
+			Prefix:  ipv4.Prefix{},
+			Via:     uVia[i],
+			IfIndex: int(uIf[i]),
+			Metric:  1,
+			Source:  stack.SourceStatic,
+		})
+		noteAgg(n)
 	}
 }
 

@@ -121,12 +121,12 @@ type e13Outcome struct {
 
 // e13Sweep offers the load sweep to a fresh generated internet per load
 // point, with the given gateway queue policy installed, and reduces the
-// curve. The topology depends only on the campaign seed, and the
+// curve. The topology depends only on (spec, campaign seed), and the
 // arrival process per load point only on (seed, point index) — so two
 // sweeps at the same seed differing only in policy or host response see
 // identical topology and identical offered traffic, which is what makes
 // tournament cells comparable.
-func e13Sweep(seed int64, ws workload.Spec, policy phys.PolicySpec, loads []float64, window, drain sim.Duration) e13Outcome {
+func e13Sweep(seed int64, tspec topo.Spec, ws workload.Spec, policy phys.PolicySpec, loads []float64, window, drain sim.Duration) e13Outcome {
 	out := e13Outcome{points: make([]e13Point, 0, len(loads))}
 
 	// bpsPerUnitRate converts a target offered load to an arrival rate:
@@ -138,7 +138,7 @@ func e13Sweep(seed int64, ws workload.Spec, policy phys.PolicySpec, loads []floa
 		// A fresh internet per load point — same topology every time
 		// (generation seed is the campaign seed), with the engine
 		// seeded per-point so load points draw independent traffic.
-		nw, m := topo.Generate(e13Topo(), seed)
+		nw, m := topo.Generate(tspec, seed)
 		nw.InstallStaticRoutes()
 		for _, g := range m.GatewayNames() {
 			nw.Node(g).InstallQueuePolicy(e13GatewayQueue, policy)
@@ -167,7 +167,7 @@ func e13Sweep(seed int64, ws workload.Spec, policy phys.PolicySpec, loads []floa
 }
 
 func runE13(seed int64, ws workload.Spec, policy phys.PolicySpec, loads []float64, window, drain sim.Duration) Result {
-	out := e13Sweep(seed, ws, policy, loads, window, drain)
+	out := e13Sweep(seed, e13Topo(), ws, policy, loads, window, drain)
 	points, lastKernel := out.points, out.lastKernel
 	peakGoodput, kneeLoad, collapseRatio := out.peakGoodput, out.kneeLoad, out.collapseRatio
 	last := points[len(points)-1]

@@ -7,6 +7,7 @@ import (
 	"darpanet/internal/sim"
 	"darpanet/internal/stats"
 	"darpanet/internal/tcp"
+	"darpanet/internal/topo"
 	"darpanet/internal/workload"
 )
 
@@ -18,7 +19,40 @@ import (
 // and the same offered traffic, then scoring each cell on the collapse
 // curve it produces. The grid is the era's actual design space:
 // drop-tail vs RED early drop vs ECN marking at the gateway, and the
-// pre-1988 window-blaster vs Tahoe vs Reno(+ECN) at the host.
+// pre-1988 window-blaster vs Tahoe vs Reno/NewReno(+ECN) at the host.
+// A third axis — the topology the cells collapse on — is selectable
+// but not crossed into the grid: one tournament runs on one internet,
+// named in every metric path, so leaderboards from different shapes
+// never mix silently.
+
+// Topology identifiers the tournament (and the -ttopo flag) accepts.
+const (
+	E13TTopoTransitStub = "transitstub"
+	E13TTopoWaxman      = "waxman"
+)
+
+// e13WaxmanTopo is the tournament's alternative internet: a random
+// Waxman graph at the same scale as e13Topo's transit-stub (every
+// gateway owns one host LAN, all trunks T1). The transit-stub shape
+// concentrates load on a 3-gateway ring; Waxman spreads it over a
+// meshier random graph, so the same policies face a different
+// contention structure.
+func e13WaxmanTopo() topo.Spec {
+	return topo.Spec{Shape: topo.Waxman, Gateways: 12, Alpha: 0.25, Beta: 0.4, Hosts: 1, Mix: false}
+}
+
+// E13TTopoSpec resolves a tournament topology id to the generated
+// internet it runs on. The empty id means the default transit-stub.
+func E13TTopoSpec(id string) (topo.Spec, error) {
+	switch id {
+	case "", E13TTopoTransitStub:
+		return e13Topo(), nil
+	case E13TTopoWaxman:
+		return e13WaxmanTopo(), nil
+	}
+	return topo.Spec{}, fmt.Errorf("e13t: unknown topology %q (want %q or %q)",
+		id, E13TTopoTransitStub, E13TTopoWaxman)
+}
 
 // E13TCell is one tournament cell: a gateway queue policy paired with a
 // host congestion response.
@@ -54,12 +88,12 @@ func (c E13TCell) workload() workload.Spec {
 	return ws
 }
 
-// E13TDefaultGrid is the full 3×3 tournament: every queue policy
+// E13TDefaultGrid is the full 3×4 tournament: every queue policy
 // against every congestion response.
 func E13TDefaultGrid() []E13TCell {
 	var cells []E13TCell
 	for _, kind := range []string{phys.PolicyDropTail, phys.PolicyRED, phys.PolicyECN} {
-		for _, cc := range []string{tcp.CCNaive, tcp.CCTahoe, tcp.CCReno} {
+		for _, cc := range []string{tcp.CCNaive, tcp.CCTahoe, tcp.CCReno, tcp.CCNewReno} {
 			cells = append(cells, E13TCell{Policy: phys.PolicySpec{Kind: kind}, CC: cc})
 		}
 	}
@@ -81,15 +115,23 @@ const (
 	e13tDrain  = e13Drain
 )
 
-// RunE13T runs the default 3×3 tournament.
+// RunE13T runs the default 3×4 tournament on the transit-stub internet.
 func RunE13T(seed int64) Result {
-	return runE13T(seed, E13TDefaultGrid(), e13tLoads, e13tWindow, e13tDrain)
+	return runE13T(seed, E13TTopoTransitStub, e13Topo(), E13TDefaultGrid(), e13tLoads, e13tWindow, e13tDrain)
 }
 
-// RunE13TGrid returns a tournament driver over a custom grid — how the
-// -qdisc/-cc flags restrict the cells, and how the CI smoke runs a 2×2
-// grid on a short sweep.
-func RunE13TGrid(cells []E13TCell, loads []float64, window, drain sim.Duration) func(seed int64) Result {
+// RunE13TGrid returns a tournament driver over a custom grid and
+// topology — how the -ttopo/-qdisc/-cc flags shape the run, and how
+// the CI smoke runs a 2×2 grid on a short sweep. An empty topoID
+// selects the default transit-stub internet.
+func RunE13TGrid(topoID string, cells []E13TCell, loads []float64, window, drain sim.Duration) (func(seed int64) Result, error) {
+	if topoID == "" {
+		topoID = E13TTopoTransitStub
+	}
+	tspec, err := E13TTopoSpec(topoID)
+	if err != nil {
+		return nil, err
+	}
 	if loads == nil {
 		loads = e13tLoads
 	}
@@ -99,16 +141,16 @@ func RunE13TGrid(cells []E13TCell, loads []float64, window, drain sim.Duration) 
 	if drain == 0 {
 		drain = e13tDrain
 	}
-	return func(seed int64) Result { return runE13T(seed, cells, loads, window, drain) }
+	return func(seed int64) Result { return runE13T(seed, topoID, tspec, cells, loads, window, drain) }, nil
 }
 
-func runE13T(seed int64, cells []E13TCell, loads []float64, window, drain sim.Duration) Result {
+func runE13T(seed int64, topoID string, tspec topo.Spec, cells []E13TCell, loads []float64, window, drain sim.Duration) Result {
 	table := stats.Table{Header: []string{
 		"policy", "cc", "collapse", "peak goodput", "knee", "jain", "fct p99", "done"}}
 
 	res := Result{
 		ID:    "E13-T",
-		Title: "Policy tournament: gateway queue policy x host congestion response on the collapse curve",
+		Title: fmt.Sprintf("Policy tournament: gateway queue policy x host congestion response on the collapse curve (%s internet)", topoID),
 	}
 
 	type scored struct {
@@ -119,7 +161,7 @@ func runE13T(seed int64, cells []E13TCell, loads []float64, window, drain sim.Du
 	for _, cell := range cells {
 		// Every cell sees the same seed: identical topology, identical
 		// arrival process — only the policies differ.
-		out := e13Sweep(seed, cell.workload(), cell.Policy, loads, window, drain)
+		out := e13Sweep(seed, tspec, cell.workload(), cell.Policy, loads, window, drain)
 		ran = append(ran, scored{cell, out})
 
 		top := out.points[len(out.points)-1].sum
@@ -134,7 +176,7 @@ func runE13T(seed int64, cells []E13TCell, loads []float64, window, drain sim.Du
 			fmt.Sprintf("%.0f%%", 100*ratio(top.Completed, top.Started)),
 		)
 
-		pre := "t/" + cell.Name() + "/"
+		pre := "t/" + topoID + "/" + cell.Name() + "/"
 		res.AddMetric(pre+"collapse_ratio", "", out.collapseRatio)
 		res.AddMetric(pre+"peak_goodput", "bps", out.peakGoodput)
 		res.AddMetric(pre+"knee_load", "xT1", out.kneeLoad)
@@ -158,7 +200,7 @@ func runE13T(seed int64, cells []E13TCell, loads []float64, window, drain sim.Du
 		"%s holds %.0f%% of peak goodput at %.0fx T1 where %s holds %.0f%% — the resource-management answer the 1988 architecture had room for but did not ship.",
 		best.cell.Name(), 100*best.out.collapseRatio, loads[len(loads)-1],
 		worst.cell.Name(), 100*worst.out.collapseRatio))
-	res.Notes = append(res.Notes,
-		"every cell sees the same topology and the same offered traffic per seed; rank cells with the campaign leaderboard (darpanet/tournament/v1), not single-seed eyeballing.")
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"every cell sees the same %q topology and the same offered traffic per seed; rank cells with the campaign leaderboard (darpanet/tournament/v2), not single-seed eyeballing.", topoID))
 	return res
 }

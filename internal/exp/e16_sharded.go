@@ -1,0 +1,269 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"darpanet/internal/metrics"
+	"darpanet/internal/sim"
+	"darpanet/internal/stats"
+	"darpanet/internal/tcp"
+	"darpanet/internal/topo"
+)
+
+// E16Spec returns the E16 reference internet: a 2000-gateway
+// transit-stub graph (250 transit gateways, 7 stub gateways each, one
+// host per stub LAN) — an order of magnitude past E12, the scale the
+// sharded kernel exists for.
+func E16Spec() topo.Spec {
+	return topo.Spec{Shape: topo.TransitStub, Gateways: 250, StubsPer: 7, Hosts: 1}
+}
+
+// e16Regions is the fixed region count of the reference run. The
+// partition — and with it every simulation result — depends only on
+// (spec, seed, regions); the -shards flag picks the worker count,
+// which buys wall-clock and nothing else.
+const e16Regions = 8
+
+// RunE16 runs the sharded-kernel scale experiment on the reference
+// internet with a single worker.
+func RunE16(seed int64) Result { return runE16(seed, E16Spec(), e16Regions, 1) }
+
+// RunE16With returns an E16 driver for an arbitrary spec, region count
+// and worker count — how the -topo16/-shards flags reshape the
+// experiment, and how the determinism tests pin byte-identical results
+// across worker counts.
+func RunE16With(spec topo.Spec, regions, workers int) func(seed int64) Result {
+	return func(seed int64) Result { return runE16(seed, spec, regions, workers) }
+}
+
+// RunE16Workers returns the reference E16 driver with only the worker
+// count replaced — the -shards flag. The region count stays at the
+// reference value, so every metric is byte-identical to the serial run.
+func RunE16Workers(workers int) func(seed int64) Result {
+	return RunE16With(E16Spec(), e16Regions, workers)
+}
+
+// runE16 measures whether the architecture's invariants — and the
+// simulator's own determinism — survive sharding: the internet is cut
+// into region kernels advanced in lock-step epochs bounded by the
+// minimum cross-region trunk delay (conservative synchronization), and
+// every metric below must come out byte-identical at any worker count.
+// Wall-clock figures (build time, run time, per-shard busy time, the
+// modeled parallel speedup) are reported in the notes only — never as
+// metrics or table rows, which are compared byte for byte across runs
+// and shard counts — precisely so that holds.
+func runE16(seed int64, spec topo.Spec, regions, workers int) Result {
+	t0 := time.Now()
+	s := topo.GenerateSharded(spec, seed, regions, workers)
+	buildWall := time.Since(t0)
+	for _, nw := range s.Regions {
+		hookNet(nw)
+	}
+	m := s.Manifest
+	part := m.Partition
+
+	table := stats.Table{Header: []string{"phase", "quantity", "value"}}
+	table.AddRow("topology", "spec", m.Spec)
+	table.AddRow("topology", "gateways / hosts / nets",
+		fmt.Sprintf("%d / %d / %d", m.Gateways, m.Hosts, m.Nets))
+	table.AddRow("partition", "regions / cross trunks",
+		fmt.Sprintf("%d / %d", part.Regions, part.CrossLinks))
+	table.AddRow("partition", "lookahead", fmt.Sprintf("%.1fms", float64(part.LookaheadUS)/1000))
+	table.AddRow("partition", "region loads (nodes)", fmt.Sprint(part.RegionLoads()))
+
+	// Phase 1: route audit. Static routes are installed globally across
+	// the regions (the boundary net is the only coupling); a sampled
+	// walk over the installed state must deliver every reachable host
+	// pair in exactly the BFS-optimal number of gateway hops.
+	rng := rand.New(rand.NewSource(seed ^ 0xe16))
+	hosts := m.HostNames()
+	stubNet := make(map[string]string, len(hosts))
+	for _, nd := range m.NodeDefs {
+		if !nd.Forwarding {
+			stubNet[nd.Name] = nd.Nets[0]
+		}
+	}
+	const auditPairs = 128
+	hopsCache := make(map[string]map[string]int)
+	audited, delivers, optimal, crossRegion := 0, 0, 0, 0
+	for i := 0; i < auditPairs; i++ {
+		from := hosts[rng.Intn(len(hosts))]
+		to := hosts[rng.Intn(len(hosts))]
+		hops := hopsCache[from]
+		if hops == nil {
+			hops = m.NetHops(from)
+			hopsCache[from] = hops
+		}
+		want, reachable := hops[stubNet[to]]
+		if !reachable {
+			continue
+		}
+		audited++
+		if s.Region(from) != s.Region(to) {
+			crossRegion++
+		}
+		got, ok := s.PathHops(from, to)
+		if ok {
+			delivers++
+			if got == want {
+				optimal++
+			}
+		}
+	}
+	table.AddRow("route audit", "pairs sampled (cross-region)",
+		fmt.Sprintf("%d (%d)", audited, crossRegion))
+	table.AddRow("route audit", "walk delivers", fmt.Sprintf("%d/%d", delivers, audited))
+	table.AddRow("route audit", "hops = BFS optimum", fmt.Sprintf("%d/%d", optimal, audited))
+
+	// Phase 2: traffic matrix across the cut — UDP request/response
+	// and bulk TCP between hosts drawn over the whole internet, most
+	// pairs spanning regions, every frame crossing a boundary trunk at
+	// an epoch barrier.
+	pickPair := func() (string, string) {
+		a := rng.Intn(len(hosts))
+		b := rng.Intn(len(hosts) - 1)
+		if b >= a {
+			b++
+		}
+		return hosts[a], hosts[b]
+	}
+	nFlows := 16
+	if nFlows > len(hosts)/2 {
+		nFlows = len(hosts) / 2
+	}
+	trafficCross := 0
+	queries := make([]*queryDriver, 0, nFlows)
+	for f := 0; f < nFlows; f++ {
+		from, to := pickPair()
+		if s.Region(from) != s.Region(to) {
+			trafficCross++
+		}
+		queries = append(queries, runUDPQueriesPair(s.Net(from), s.Net(to), from, to,
+			uint16(7000+f), 20, 250*time.Millisecond, 256, 0))
+	}
+	nXfers := 4
+	if nXfers > nFlows {
+		nXfers = nFlows
+	}
+	const xferBytes = 100_000
+	xfers := make([]*Transfer, 0, nXfers)
+	for x := 0; x < nXfers; x++ {
+		from, to := pickPair()
+		if s.Region(from) != s.Region(to) {
+			trafficCross++
+		}
+		xfers = append(xfers, startBulkTCPPair(s.Net(from), s.Net(to), from, to,
+			uint16(9000+x), xferBytes, tcp.Options{SendBufferSize: 65535}))
+	}
+	t1 := time.Now()
+	s.RunFor(12 * time.Second)
+	runWall := time.Since(t1)
+
+	sent, got := 0, 0
+	rtts := &stats.Sample{}
+	for _, q := range queries {
+		sent += q.sent
+		got += q.got
+		for _, r := range q.rtts {
+			rtts.Add(r.Seconds() * 1000)
+		}
+	}
+	xferDone, xferBytesRx := 0, 0
+	var slowest sim.Duration
+	for _, tr := range xfers {
+		xferBytesRx += tr.Received
+		if tr.Done {
+			xferDone++
+			if e := tr.ElapsedToDone(); e > slowest {
+				slowest = e
+			}
+		}
+	}
+	table.AddRow("traffic", "flows (cross-region)",
+		fmt.Sprintf("%d (%d)", nFlows+nXfers, trafficCross))
+	table.AddRow("traffic", "udp delivered", fmt.Sprintf("%d/%d", got, sent))
+	table.AddRow("traffic", "udp rtt p50 / p99",
+		fmt.Sprintf("%.1f / %.1f ms", rtts.Percentile(50), rtts.Percentile(99)))
+	table.AddRow("traffic", "tcp transfers done",
+		fmt.Sprintf("%d/%d (%s each)", xferDone, len(xfers), stats.HumanBytes(xferBytes)))
+
+	// Phase 3: cost and conservation, summed across every region
+	// kernel. The frame ledger must balance globally: a frame leaving a
+	// NIC in one region and arriving in another via a boundary trunk is
+	// still one frame, and anything parked in a boundary outbox at the
+	// end counts as in flight.
+	var forwarded, delivered, lhs, rhs uint64
+	for _, k := range s.Group.Kernels() {
+		snap := metrics.For(k).Snapshot()
+		forwarded += snap.Sum("ip/forwarded")
+		delivered += snap.Sum("ip/in_delivers")
+		lhs += snap.Sum("nic/tx_frames") + snap.Sum("medium/bcast_copies")
+		rhs += snap.Sum("nic/rx_frames") + snap.Sum("nic/rx_lost") +
+			snap.Sum("nic/rx_down") + snap.Sum("nic/rx_no_recv") +
+			snap.Sum("medium/queue_drops") + snap.Sum("medium/lost_down") +
+			snap.Sum("medium/no_match") + snap.Sum("medium/bcast_fanout") +
+			snap.Sum("medium/queued") + snap.Sum("medium/in_flight")
+	}
+	fwdPerDelivery := 0.0
+	if delivered > 0 {
+		fwdPerDelivery = float64(forwarded) / float64(delivered)
+	}
+	ledgerDelta := int64(lhs) - int64(rhs)
+	table.AddRow("cost", "frames originated", fmt.Sprint(lhs))
+	table.AddRow("cost", "forwards per delivery", fmt.Sprintf("%.2f", fwdPerDelivery))
+	table.AddRow("cost", "frame ledger Δ (all regions)", fmt.Sprint(ledgerDelta))
+
+	// Phase 4: scaling diagnostics — wall-clock only, notes only (the
+	// table and metrics are compared byte for byte across runs and
+	// shard counts, and wall time varies with the machine). The busy
+	// times show the partition's load balance; TotalBusy over
+	// CriticalPath is the speedup an idealized run (one core per shard,
+	// free barriers) would reach, the honest figure to quote alongside
+	// measured wall-clock on machines with few cores.
+	busy := s.Group.BusyTimes()
+	totalBusy := s.Group.TotalBusy()
+	crit := s.Group.CriticalPath()
+	modeled := 0.0
+	if crit > 0 {
+		modeled = float64(totalBusy) / float64(crit)
+	}
+	loads := make([]string, len(busy))
+	for i, d := range busy {
+		loads[i] = fmt.Sprintf("%.0fms", d.Seconds()*1000)
+	}
+
+	res := Result{
+		ID:    "E16",
+		Title: "Sharded kernel: 2000 gateways under conservative link-delay synchronization",
+		Table: table,
+		Notes: []string{
+			"every metric above is byte-identical at any -shards value: the epoch schedule, per-kernel event order and barrier exchange order are fixed by the lookahead, never by the worker count.",
+			fmt.Sprintf("timing (machine-dependent, diagnostics only): build %.2fs, run %.2fs at %d worker(s); per-shard busy %v; total busy %.2fs / critical path %.2fs; modeled speedup (cores ≥ shards) %.2fx = TotalBusy/CriticalPath, the ceiling with one core per shard.",
+				buildWall.Seconds(), runWall.Seconds(), workers, loads,
+				totalBusy.Seconds(), crit.Seconds(), modeled),
+		},
+	}
+	res.AddMetric("gateways", "", float64(m.Gateways))
+	res.AddMetric("hosts", "", float64(m.Hosts))
+	res.AddMetric("nets", "", float64(m.Nets))
+	res.AddMetric("regions", "", float64(part.Regions))
+	res.AddMetric("cross_links", "", float64(part.CrossLinks))
+	res.AddMetric("lookahead_us", "us", float64(part.LookaheadUS))
+	res.AddMetric("audit_pairs", "", float64(audited))
+	res.AddMetric("audit_cross_region", "", ratio(crossRegion, audited))
+	res.AddMetric("audit_delivers", "", ratio(delivers, audited))
+	res.AddMetric("audit_optimal", "", ratio(optimal, audited))
+	res.AddMetric("udp_sent", "", float64(sent))
+	res.AddMetric("udp_delivered", "", ratio(got, sent))
+	res.AddMetric("udp_rtt_p50", "ms", rtts.Percentile(50))
+	res.AddMetric("udp_rtt_p99", "ms", rtts.Percentile(99))
+	res.AddMetric("tcp_done", "", ratio(xferDone, len(xfers)))
+	res.AddMetric("tcp_bytes", "B", float64(xferBytesRx))
+	res.AddMetric("tcp_slowest", "s", slowest.Seconds())
+	res.AddMetric("fwd_per_delivery", "", fwdPerDelivery)
+	res.AddMetric("frame_ledger_delta", "", float64(ledgerDelta))
+	res.AddCounterSums("sharded", s.Group.Kernels()...)
+	return res
+}

@@ -64,22 +64,26 @@ func (r *Result) AddCounters(scope string, k *sim.Kernel) {
 }
 
 // AddCounterSums records layer-level counter totals — every registry
-// descriptor summed across nodes — as "ctr/<scope>/<layer>/<name>"
-// metrics and counter entries. On generated internets (internal/topo,
-// hundreds of nodes) the per-node mirror AddCounters emits would swamp
-// a campaign export with tens of thousands of metrics; the sums keep
-// it compact while preserving the per-layer story.
-func (r *Result) AddCounterSums(scope string, k *sim.Kernel) {
+// descriptor summed across nodes, and across all the given kernels —
+// as "ctr/<scope>/<layer>/<name>" metrics and counter entries. On
+// generated internets (internal/topo, hundreds of nodes) the per-node
+// mirror AddCounters emits would swamp a campaign export with tens of
+// thousands of metrics; the sums keep it compact while preserving the
+// per-layer story. Sharded drivers pass every region kernel so the
+// totals cover the whole internet regardless of how it was cut.
+func (r *Result) AddCounterSums(scope string, ks ...*sim.Kernel) {
 	sums := make(map[string]uint64)
-	for _, e := range metrics.For(k).Snapshot() {
-		p := e.Path
-		if i := strings.LastIndex(p, "~"); i >= 0 && !strings.Contains(p[i:], "/") {
-			p = p[:i] // uniquified duplicate, fold into the base name
+	for _, k := range ks {
+		for _, e := range metrics.For(k).Snapshot() {
+			p := e.Path
+			if i := strings.LastIndex(p, "~"); i >= 0 && !strings.Contains(p[i:], "/") {
+				p = p[:i] // uniquified duplicate, fold into the base name
+			}
+			if i := strings.Index(p, "/"); i >= 0 {
+				p = p[i+1:] // drop the node segment
+			}
+			sums[p] += e.Value
 		}
-		if i := strings.Index(p, "/"); i >= 0 {
-			p = p[i+1:] // drop the node segment
-		}
-		sums[p] += e.Value
 	}
 	order := make([]string, 0, len(sums))
 	for p := range sums {
@@ -150,6 +154,7 @@ var All = []Experiment{
 	{"E13", "Congestion collapse: goodput vs offered load through the cliff", RunE13},
 	{"E13-T", "Policy tournament: gateway queue policy x host congestion response", RunE13T},
 	{"E14", "Survivability frontier: cut-set-targeted vs random failure at matched budgets", RunE14},
+	{"E16", "Sharded kernel: 2000 gateways under conservative link-delay synchronization", RunE16},
 }
 
 // ByID returns the experiment with the given ID.

@@ -29,9 +29,18 @@ type Transfer struct {
 // nbytes of patterned data; the server side counts arrivals. The caller
 // drives the kernel and inspects the returned Transfer.
 func StartBulkTCP(nw *core.Network, from, to string, port uint16, nbytes int, opts tcp.Options) *Transfer {
-	tr := &Transfer{Target: nbytes, started: nw.Now(), LastByteAt: nw.Now()}
-	k := nw.Kernel()
-	nw.TCP(to).Listen(port, opts, func(c *tcp.Conn) {
+	return startBulkTCPPair(nw, nw, from, to, port, nbytes, opts)
+}
+
+// startBulkTCPPair is StartBulkTCP over two network handles: the
+// client on cnw, the server on snw. On a serial build both are the
+// same Network; on a sharded build they are the endpoints' region
+// networks (topo.Sharded.Net), whose kernels advance in lock-step, so
+// server-side timestamps stay on one timeline with the client's.
+func startBulkTCPPair(cnw, snw *core.Network, from, to string, port uint16, nbytes int, opts tcp.Options) *Transfer {
+	tr := &Transfer{Target: nbytes, started: cnw.Now(), LastByteAt: cnw.Now()}
+	k := snw.Kernel()
+	snw.TCP(to).Listen(port, opts, func(c *tcp.Conn) {
 		tr.Server = c
 		c.OnData(func(b []byte) {
 			if gap := k.Now().Sub(tr.LastByteAt); gap > tr.MaxStall {
@@ -45,7 +54,7 @@ func StartBulkTCP(nw *core.Network, from, to string, port uint16, nbytes int, op
 			}
 		})
 	})
-	conn, err := nw.TCP(from).Dial(tcp.Endpoint{Addr: nw.Addr(to), Port: port}, opts)
+	conn, err := cnw.TCP(from).Dial(tcp.Endpoint{Addr: snw.Addr(to), Port: port}, opts)
 	if err != nil {
 		tr.Err = err
 		return tr
@@ -117,11 +126,18 @@ type queryDriver struct {
 // runUDPQueries issues count echo transactions at the given interval and
 // returns per-transaction RTTs (missing entries = lost).
 func runUDPQueries(nw *core.Network, from, to string, port uint16, count int, interval sim.Duration, payload int, tos uint8) *queryDriver {
-	startUDPEcho(nw, to, port)
-	k := nw.Kernel()
+	return runUDPQueriesPair(nw, nw, from, to, port, count, interval, payload, tos)
+}
+
+// runUDPQueriesPair is runUDPQueries over two network handles: the
+// querier on cnw, the echo responder on snw (the same Network on a
+// serial build, the endpoints' region networks on a sharded one).
+func runUDPQueriesPair(cnw, snw *core.Network, from, to string, port uint16, count int, interval sim.Duration, payload int, tos uint8) *queryDriver {
+	startUDPEcho(snw, to, port)
+	k := cnw.Kernel()
 	qd := &queryDriver{}
 	sends := make(map[uint16]sim.Time)
-	sock, _ := nw.UDP(from).Listen(0, func(_ udp.Endpoint, data []byte, _ ipv4.Header) {
+	sock, _ := cnw.UDP(from).Listen(0, func(_ udp.Endpoint, data []byte, _ ipv4.Header) {
 		if len(data) < 2 {
 			return
 		}
@@ -133,7 +149,7 @@ func runUDPQueries(nw *core.Network, from, to string, port uint16, count int, in
 		}
 	})
 	sock.TOS = tos
-	dst := udp.Endpoint{Addr: nw.Addr(to), Port: port}
+	dst := udp.Endpoint{Addr: snw.Addr(to), Port: port}
 	for i := 0; i < count; i++ {
 		i := i
 		k.After(sim.Duration(i)*interval, func() {

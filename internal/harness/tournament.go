@@ -26,7 +26,8 @@ type Tournament struct {
 // score.
 type TournamentEntry struct {
 	Rank   int     `json:"rank"`
-	Name   string  `json:"name"`   // "<policy-kind>/<cc>"
+	Name   string  `json:"name"`   // "<topo>/<policy-kind>/<cc>"
+	Topo   string  `json:"topo"`   // generated internet the cells ran on
 	Policy string  `json:"policy"` // gateway queue policy kind
 	CC     string  `json:"cc"`     // host congestion response
 	Score  float64 `json:"score"`
@@ -49,7 +50,9 @@ const (
 
 // BuildTournament distills a campaign report of the E13-T experiment
 // into the ranked leaderboard. Cells are recognised by the
-// "t/<policy>/<cc>/<metric>" naming convention; the composite score is
+// "t/<topo>/<policy>/<cc>/<metric>" naming convention (the pre-v2
+// three-part form without the topology id is still accepted, with an
+// empty topo field); the composite score is
 //
 //	0.45·collapse_ratio + 0.25·(peak_goodput/max) + 0.20·jain + 0.10·(min_fct/fct)
 //
@@ -64,13 +67,21 @@ func BuildTournament(rep *Report) *Tournament {
 			continue
 		}
 		parts := strings.Split(rest, "/")
-		if len(parts) != 3 {
+		var topoID string
+		switch len(parts) {
+		case 3: // legacy path without a topology id
+		case 4:
+			topoID, parts = parts[0], parts[1:]
+		default:
 			continue
 		}
 		name := parts[0] + "/" + parts[1]
+		if topoID != "" {
+			name = topoID + "/" + name
+		}
 		e := cells[name]
 		if e == nil {
-			e = &TournamentEntry{Name: name, Policy: parts[0], CC: parts[1]}
+			e = &TournamentEntry{Name: name, Topo: topoID, Policy: parts[0], CC: parts[1]}
 			cells[name] = e
 			order = append(order, name)
 		}
@@ -89,7 +100,7 @@ func BuildTournament(rep *Report) *Tournament {
 	}
 
 	t := &Tournament{
-		Schema:   "darpanet/tournament/v1",
+		Schema:   "darpanet/tournament/v2",
 		ID:       rep.ID,
 		Title:    rep.Title,
 		BaseSeed: rep.BaseSeed,
@@ -139,7 +150,7 @@ func BuildTournament(rep *Report) *Tournament {
 }
 
 // WriteTournamentJSON writes the leaderboard as deterministic indented
-// JSON under the darpanet/tournament/v1 schema.
+// JSON under the darpanet/tournament/v2 schema.
 func WriteTournamentJSON(w io.Writer, t *Tournament) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

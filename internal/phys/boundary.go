@@ -1,0 +1,241 @@
+package phys
+
+import (
+	"fmt"
+
+	"darpanet/internal/metrics"
+	"darpanet/internal/sim"
+)
+
+// Boundary is one half of a cross-shard point-to-point link: the only
+// coupling between the region kernels of a sharded simulation. Each
+// half lives entirely inside its own kernel — its NIC, transmitter and
+// queue are ordinary single-kernel state — and the two halves touch
+// only at the epoch barrier, when the shard group's exchange callback
+// calls Drain on each half single-threaded.
+//
+// Serialization happens in the sender's epoch at the configured link
+// rate; the propagation delay and jitter are applied at export time, so
+// a frame serialized at time t arrives at t+Delay(+jitter). Because the
+// shard group's lookahead never exceeds the smallest boundary Delay,
+// the arrival instant can never precede the receiving kernel's clock at
+// the barrier — Drain panics if it ever would, making a lookahead
+// misconfiguration loud instead of silently non-causal.
+type Boundary struct {
+	k      *sim.Kernel
+	name   string
+	cfg    Config
+	txCfg  Config // Delay/Jitter zeroed: the transmitter only serializes
+	myAddr Addr
+	nic    *NIC
+	peer   *Boundary
+	tx     *transmitter
+	down   bool
+
+	// outbox holds frames that finished serializing this epoch and wait
+	// for the barrier; the slice is reset (capacity kept) every Drain.
+	outbox []outFrame
+	// pending counts arrivals Drain has scheduled into this half's
+	// kernel that have not yet been delivered, for the conservation
+	// ledger's in-flight gauge.
+	pending uint64
+	// free recycles crossing records (with their prebound callbacks) so
+	// the barrier handoff allocates nothing in steady state.
+	free []*crossing
+
+	lostDown uint64
+	noMatch  uint64
+	Drops    uint64 // frames dropped at the full output queue
+}
+
+// outFrame is a frame awaiting export: serialization finished at "at"
+// in the sending kernel; propagation starts there.
+type outFrame struct {
+	f  Frame
+	at sim.Time
+}
+
+// crossing is one frame in flight across the boundary, owned by the
+// receiving half. Its callback is bound once and the record recycled.
+type crossing struct {
+	b    *Boundary
+	f    Frame
+	fire func()
+}
+
+func (c *crossing) run() {
+	b, f := c.b, c.f
+	c.f = Frame{}
+	b.free = append(b.free, c)
+	b.pending--
+	b.nic.deliver(f)
+}
+
+// NewBoundaryPair creates the two halves of a cross-shard link between
+// kernels ka and kb. The halves share one Config; the first half's
+// station gets link address 1, the second's address 2 (mirroring a P2P
+// link's two ends).
+func NewBoundaryPair(ka, kb *sim.Kernel, name string, cfg Config) (*Boundary, *Boundary) {
+	if cfg.MTU <= 0 {
+		cfg.MTU = 1500
+	}
+	if cfg.Delay <= 0 {
+		panic(fmt.Sprintf("phys: boundary link %s needs a positive propagation delay (it is the shard lookahead)", name))
+	}
+	mk := func(k *sim.Kernel, addr Addr) *Boundary {
+		b := &Boundary{k: k, name: name, cfg: cfg, myAddr: addr}
+		b.txCfg = cfg
+		b.txCfg.Delay, b.txCfg.Jitter = 0, 0
+		b.tx = newTransmitter(k, &b.txCfg, b.export, &b.Drops)
+		return b
+	}
+	a, b := mk(ka, 1), mk(kb, 2)
+	a.peer, b.peer = b, a
+	registerBoundary(ka, a)
+	registerBoundary(kb, b)
+	return a, b
+}
+
+// Name returns the link's name (both halves share it).
+func (b *Boundary) Name() string { return b.name }
+
+// MTU returns the link's maximum frame payload size.
+func (b *Boundary) MTU() int { return b.cfg.MTU }
+
+// Delay returns the link's one-way propagation delay — the lookahead
+// this link contributes to the shard group.
+func (b *Boundary) Delay() sim.Duration { return b.cfg.Delay }
+
+// SetDown cuts this half of the link. Frames from either direction are
+// lost at the barrier while either half is down. Call only from this
+// half's kernel (or at the barrier).
+func (b *Boundary) SetDown(down bool) { b.down = down }
+
+// Down reports whether this half is administratively cut.
+func (b *Boundary) Down() bool { return b.down }
+
+// Loss returns the link's independent per-frame loss probability.
+func (b *Boundary) Loss() float64 { return b.cfg.Loss }
+
+// SetLoss changes the link's per-frame loss probability (local half).
+func (b *Boundary) SetLoss(l float64) { b.cfg.Loss = l }
+
+// LostWhileDown returns how many frames this half swallowed because the
+// link was down.
+func (b *Boundary) LostWhileDown() uint64 { return b.lostDown }
+
+// Peer returns the other half of the link.
+func (b *Boundary) Peer() *Boundary { return b.peer }
+
+// Attach connects the half's single station. A boundary half has
+// exactly one end; the peer's station is in another kernel.
+func (b *Boundary) Attach(name string) *NIC {
+	if b.nic != nil {
+		panic(fmt.Sprintf("phys: boundary half %s already has its end", b.name))
+	}
+	n := &NIC{name: name, addr: b.myAddr, medium: b, up: true}
+	b.nic = n
+	registerNIC(b.k, n)
+	return n
+}
+
+// NIC returns the half's attached station, or nil.
+func (b *Boundary) NIC() *NIC { return b.nic }
+
+func (b *Boundary) send(from *NIC, f Frame) { b.tx.enqueue(from, f) }
+
+// export runs in the sending kernel when a frame finishes serializing:
+// the frame parks in the outbox until the epoch barrier.
+func (b *Boundary) export(_ *NIC, f Frame) {
+	b.outbox = append(b.outbox, outFrame{f: f, at: b.k.Now()})
+}
+
+// Drain moves this half's exported frames into the peer kernel,
+// applying the link's propagation delay, jitter, loss and down state.
+// It must run at the epoch barrier, single-threaded, with both kernels
+// quiescent: it touches both kernels' state (scheduling, RNG, pools),
+// which is only safe there. Draining every half in a fixed order keeps
+// the simulation deterministic at any worker count.
+func (b *Boundary) Drain() {
+	p := b.peer
+	for i := range b.outbox {
+		of := &b.outbox[i]
+		f := of.f
+		of.f = Frame{}
+		if b.down || p.down {
+			b.lostDown++
+			f.Release()
+			continue
+		}
+		if b.cfg.Loss > 0 && p.k.Rand().Float64() < b.cfg.Loss {
+			if p.nic != nil {
+				p.nic.stats.RxLost++
+			} else {
+				b.noMatch++
+			}
+			f.Release()
+			continue
+		}
+		if p.nic == nil || (f.Dst != Broadcast && f.Dst != p.nic.addr) {
+			b.noMatch++
+			f.Release()
+			continue
+		}
+		arrival := of.at.Add(b.cfg.Delay)
+		if b.cfg.Jitter > 0 {
+			arrival = arrival.Add(sim.Duration(p.k.Rand().Int63n(int64(b.cfg.Jitter))))
+		}
+		if arrival < p.k.Now() {
+			panic(fmt.Sprintf("phys: boundary %s: arrival %v before receiver clock %v (lookahead exceeds link delay)",
+				b.name, arrival, p.k.Now()))
+		}
+		// Re-pool the payload: buffers belong to one kernel's pool, and
+		// the barrier is the only point both pools are safe to touch.
+		g := Frame{Src: f.Src, Dst: f.Dst, pool: p.nic.pool}
+		g.Payload = clonePayload(p.nic.pool, f.Payload)
+		f.Release()
+		c := p.getCrossing()
+		c.f = g
+		p.pending++
+		p.k.At(arrival, c.fire)
+	}
+	b.outbox = b.outbox[:0]
+}
+
+// getCrossing takes a recycled crossing record or makes one, binding
+// its callback exactly once.
+func (b *Boundary) getCrossing() *crossing {
+	if n := len(b.free); n > 0 {
+		c := b.free[n-1]
+		b.free[n-1] = nil
+		b.free = b.free[:n-1]
+		return c
+	}
+	c := &crossing{b: b}
+	c.fire = c.run
+	return c
+}
+
+// registerBoundary binds one half's counters under <name>/medium/...
+// in its own kernel's registry. Frames parked in the outbox or
+// scheduled in the receiving kernel count as in-flight so the global
+// conservation ledger (summed across all region registries) balances.
+func registerBoundary(k *sim.Kernel, b *Boundary) {
+	reg := metrics.For(k)
+	reg.Counter(b.name, "medium", "lost_down", &b.lostDown)
+	reg.Counter(b.name, "medium", "queue_drops", &b.Drops)
+	reg.Counter(b.name, "medium", "no_match", &b.noMatch)
+	reg.Gauge(b.name, "medium", "queued", func() uint64 {
+		var n uint64
+		if b.tx.qdisc != nil {
+			n += uint64(b.tx.qdisc.Len())
+		}
+		if b.tx.busy {
+			n++
+		}
+		return n
+	})
+	reg.Gauge(b.name, "medium", "in_flight", func() uint64 {
+		return b.tx.inFlight + uint64(len(b.outbox)) + b.pending
+	})
+}

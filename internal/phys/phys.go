@@ -413,6 +413,8 @@ func (n *NIC) transmitter() *transmitter {
 		return m.tx
 	case *Radio:
 		return m.Bus.tx
+	case *Boundary:
+		return m.tx
 	}
 	return nil
 }

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// shardTrace runs two kernels exchanging messages through a lookahead
+// barrier and records every event as "kernel@time:msg". Cross-kernel
+// sends are buffered in outboxes and imported at the barrier with a
+// fixed one-lookahead latency, mirroring how boundary links work.
+func shardTrace(t *testing.T, workers int) []string {
+	t.Helper()
+	const look = Duration(2 * time.Millisecond)
+	ka, kb := NewKernel(1), NewKernel(2)
+	g := NewShardGroup([]*Kernel{ka, kb}, look, workers)
+	var trace []string
+	type msg struct {
+		at  Time
+		txt string
+	}
+	var outA, outB []msg // messages to b, to a
+
+	record := func(which string, k *Kernel, txt string) {
+		trace = append(trace, fmt.Sprintf("%s@%d:%s", which, k.Now(), txt))
+	}
+	// Each kernel ping-pongs: on receipt, reply after a local delay.
+	var onA, onB func(txt string)
+	onA = func(txt string) {
+		record("a", ka, txt)
+		ka.After(Duration(300*time.Microsecond), func() {
+			outA = append(outA, msg{ka.Now().Add(look), txt + ">"})
+		})
+	}
+	onB = func(txt string) {
+		record("b", kb, txt)
+		kb.After(Duration(500*time.Microsecond), func() {
+			outB = append(outB, msg{kb.Now().Add(look), "<" + txt})
+		})
+	}
+	g.SetExchange(func() {
+		for _, m := range outA {
+			m := m
+			kb.At(m.at, func() { onB(m.txt) })
+		}
+		outA = outA[:0]
+		for _, m := range outB {
+			m := m
+			ka.At(m.at, func() { onA(m.txt) })
+		}
+		outB = outB[:0]
+	})
+	ka.After(Duration(100*time.Microsecond), func() { onA("x") })
+	kb.After(Duration(250*time.Microsecond), func() { onB("y") })
+	end := g.RunFor(Duration(40 * time.Millisecond))
+	if end != Time(40*time.Millisecond) {
+		t.Fatalf("RunFor ended at %d", end)
+	}
+	if ka.Now() != end || kb.Now() != end {
+		t.Fatalf("kernels did not reach the deadline: a=%d b=%d", ka.Now(), kb.Now())
+	}
+	if len(trace) < 10 {
+		t.Fatalf("expected a sustained ping-pong, got %d events: %v", len(trace), trace)
+	}
+	return trace
+}
+
+// TestShardGroupDeterministicAcrossWorkers pins the tentpole invariant:
+// the exact event trace is identical no matter how many workers execute
+// the epoch.
+func TestShardGroupDeterministicAcrossWorkers(t *testing.T) {
+	want := shardTrace(t, 1)
+	for _, workers := range []int{2, 3, 8} {
+		got := shardTrace(t, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d trace diverged:\n got %v\nwant %v", workers, got, want)
+		}
+	}
+}
+
+// TestShardGroupEpochBoundaries verifies events land in the epoch their
+// timestamps dictate and that the exchange runs once per epoch.
+func TestShardGroupEpochBoundaries(t *testing.T) {
+	k := NewKernel(7)
+	g := NewShardGroup([]*Kernel{k}, time.Millisecond, 1)
+	var barriers []Time
+	g.SetExchange(func() { barriers = append(barriers, g.Now()) })
+	var fired []Time
+	for _, at := range []Time{0, Time(time.Millisecond), Time(2500 * time.Microsecond)} {
+		at := at
+		k.At(at, func() { fired = append(fired, k.Now()) })
+	}
+	g.RunFor(Duration(3 * time.Millisecond))
+	wantBarriers := []Time{Time(time.Millisecond), Time(2 * time.Millisecond), Time(3 * time.Millisecond)}
+	if !reflect.DeepEqual(barriers, wantBarriers) {
+		t.Fatalf("barriers %v, want %v", barriers, wantBarriers)
+	}
+	wantFired := []Time{0, Time(time.Millisecond), Time(2500 * time.Microsecond)}
+	if !reflect.DeepEqual(fired, wantFired) {
+		t.Fatalf("fired %v, want %v", fired, wantFired)
+	}
+}
+
+// TestShardGroupValidation covers constructor guards.
+func TestShardGroupValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("no kernels", func() { NewShardGroup(nil, time.Millisecond, 1) })
+	mustPanic("zero lookahead", func() { NewShardGroup([]*Kernel{NewKernel(1)}, 0, 1) })
+	mustPanic("skewed clocks", func() {
+		a, b := NewKernel(1), NewKernel(2)
+		a.RunUntil(Time(time.Millisecond))
+		NewShardGroup([]*Kernel{a, b}, time.Millisecond, 1)
+	})
+	g := NewShardGroup([]*Kernel{NewKernel(1)}, time.Millisecond, 99)
+	if g.workers != 1 {
+		t.Fatalf("workers not clamped: %d", g.workers)
+	}
+}

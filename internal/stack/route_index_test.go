@@ -1,0 +1,164 @@
+package stack
+
+import (
+	"math/rand"
+	"testing"
+
+	"darpanet/internal/ipv4"
+)
+
+// refLookup is the pre-index linear algorithm, kept verbatim as the
+// semantic reference the index must reproduce bit for bit.
+func refLookup(routes []Route, usable func(Route) bool, dst ipv4.Addr) (Route, bool) {
+	best := -1
+	for i, r := range routes {
+		if !r.Prefix.Contains(dst) {
+			continue
+		}
+		if usable != nil && !usable(r) {
+			continue
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
+		b := routes[best]
+		switch {
+		case r.Prefix.Bits != b.Prefix.Bits:
+			if r.Prefix.Bits > b.Prefix.Bits {
+				best = i
+			}
+		case r.Source != b.Source:
+			if r.Source > b.Source {
+				best = i
+			}
+		case r.Metric < b.Metric:
+			best = i
+		}
+	}
+	if best < 0 {
+		return Route{}, false
+	}
+	return routes[best], true
+}
+
+// refAdd is the linear replace-by-(prefix,source) semantics.
+func refAdd(routes []Route, r Route) []Route {
+	for i := range routes {
+		if routes[i].Prefix == r.Prefix && routes[i].Source == r.Source {
+			routes[i] = r
+			return routes
+		}
+	}
+	return append(routes, r)
+}
+
+// TestRouteIndexEquivalence drives a RouteTable far past the index
+// threshold with randomized adds, removes and usable filters, checking
+// every lookup against the reference linear scan. The route set is
+// built so same-length prefixes, duplicate (prefix, source) pairs,
+// overlapping lengths and a default route all occur.
+func TestRouteIndexEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	addr := func() ipv4.Addr {
+		// A small universe so prefixes overlap constantly.
+		return ipv4.Addr(0x0a000000 | uint32(rng.Intn(8))<<16 | uint32(rng.Intn(8))<<8 | uint32(rng.Intn(4)))
+	}
+	prefix := func() ipv4.Prefix {
+		bits := []int{0, 8, 16, 24, 32}[rng.Intn(5)]
+		a := addr()
+		return ipv4.Prefix{Addr: a.Mask(bits), Bits: bits}
+	}
+	sources := []RouteSource{SourceEGP, SourceRIP, SourceStatic, SourceDirect}
+
+	tbl := &RouteTable{}
+	var ref []Route
+	check := func(step int) {
+		t.Helper()
+		for i := 0; i < 40; i++ {
+			dst := addr()
+			got, gok := tbl.Lookup(dst)
+			want, wok := refLookup(ref, tbl.usable, dst)
+			if gok != wok || got != want {
+				t.Fatalf("step %d: Lookup(%s) = %v,%v want %v,%v (len=%d)",
+					step, dst, got, gok, want, wok, tbl.Len())
+			}
+		}
+		if tbl.Len() != len(ref) {
+			t.Fatalf("step %d: Len %d != ref %d", step, tbl.Len(), len(ref))
+		}
+	}
+
+	for step := 0; step < 600; step++ {
+		switch op := rng.Intn(10); {
+		case op < 7: // add (duplicates replace)
+			r := Route{
+				Prefix:  prefix(),
+				Via:     addr(),
+				IfIndex: rng.Intn(4),
+				Metric:  rng.Intn(5),
+				Source:  sources[rng.Intn(len(sources))],
+			}
+			tbl.Add(r)
+			ref = refAdd(ref, r)
+		case op < 8 && len(ref) > 0: // remove an existing entry
+			victim := ref[rng.Intn(len(ref))]
+			g := tbl.Remove(victim.Prefix, victim.Source)
+			w := false
+			for i := range ref {
+				if ref[i].Prefix == victim.Prefix && ref[i].Source == victim.Source {
+					ref = append(ref[:i], ref[i+1:]...)
+					w = true
+					break
+				}
+			}
+			if g != w {
+				t.Fatalf("step %d: Remove = %v want %v", step, g, w)
+			}
+		case op < 9: // bulk remove, as recomputeStaticRoutes does
+			src := sources[rng.Intn(len(sources))]
+			tbl.RemoveIf(func(r Route) bool { return r.Source == src && r.Metric == 1 })
+			kept := ref[:0]
+			for _, r := range ref {
+				if r.Source == src && r.Metric == 1 {
+					continue
+				}
+				kept = append(kept, r)
+			}
+			ref = kept
+		default: // flip the usable filter
+			switch rng.Intn(3) {
+			case 0:
+				tbl.SetUsableFilter(nil)
+			case 1:
+				tbl.SetUsableFilter(func(r Route) bool { return r.IfIndex != 1 })
+			case 2:
+				tbl.SetUsableFilter(func(r Route) bool { return r.Metric < 3 })
+			}
+		}
+		check(step)
+	}
+	if tbl.Len() < indexThreshold {
+		t.Fatalf("test never crossed the index threshold: %d routes", tbl.Len())
+	}
+}
+
+// TestRouteIndexLookupAllocs pins the indexed lookup as allocation-free:
+// it sits on the forwarding hot path of every large gateway.
+func TestRouteIndexLookupAllocs(t *testing.T) {
+	tbl := &RouteTable{}
+	for i := 0; i < 4*indexThreshold; i++ {
+		a := ipv4.Addr(0x0a000000 + uint32(i)<<8)
+		tbl.Add(Route{Prefix: ipv4.Prefix{Addr: a, Bits: 24}, Via: a + 1, Source: SourceStatic})
+	}
+	dst := ipv4.Addr(0x0a000102)
+	if _, ok := tbl.Lookup(dst); !ok {
+		t.Fatal("lookup missed")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		tbl.Lookup(dst)
+	})
+	if allocs > 0 {
+		t.Fatalf("indexed Lookup allocates: %.1f allocs/op", allocs)
+	}
+}

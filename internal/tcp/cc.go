@@ -36,15 +36,17 @@ type CCResponse interface {
 // Congestion response names accepted by Options.Congestion and
 // CCByName.
 const (
-	CCNaive = "naive"
-	CCTahoe = "tahoe"
-	CCReno  = "reno"
+	CCNaive   = "naive"
+	CCTahoe   = "tahoe"
+	CCReno    = "reno"
+	CCNewReno = "newreno"
 )
 
 var (
-	naiveCC CCResponse = ccNaive{}
-	tahoeCC CCResponse = ccTahoe{}
-	renoCC  CCResponse = ccReno{}
+	naiveCC   CCResponse = ccNaive{}
+	tahoeCC   CCResponse = ccTahoe{}
+	renoCC    CCResponse = ccReno{}
+	newRenoCC CCResponse = ccNewReno{}
 )
 
 // CCByName returns the named congestion response, or nil if unknown.
@@ -56,13 +58,15 @@ func CCByName(name string) CCResponse {
 		return tahoeCC
 	case CCReno:
 		return renoCC
+	case CCNewReno:
+		return newRenoCC
 	}
 	return nil
 }
 
 // CCNames lists the recognised congestion-response names, sorted.
 func CCNames() []string {
-	ns := []string{CCNaive, CCReno, CCTahoe}
+	ns := []string{CCNaive, CCReno, CCTahoe, CCNewReno}
 	sort.Strings(ns)
 	return ns
 }
@@ -188,6 +192,74 @@ func (ccReno) OnDupAck(c *Conn) {
 	}
 }
 func (ccReno) OnECE(c *Conn) {
+	flight := int(c.sndNxt - c.sndUna)
+	c.ssthresh = max(flight/2, 2*c.opts.MSS)
+	c.cwnd = max(c.ssthresh, 2*c.opts.MSS)
+	c.inFastRecovery = false
+}
+
+// ccNewReno refines Reno's fast recovery per RFC 6582: the recovery
+// point (sndNxt when the fast retransmit fired) is remembered in
+// c.frRecover, and an ACK that advances sndUna but stays below it — a
+// partial ACK, the signature of multiple losses in one window — keeps
+// the connection in recovery, retransmits the next hole immediately
+// off the ACK clock, and deflates the window by the acked amount. Reno
+// in the same situation exits recovery on the first partial ACK and
+// must eat one retransmission timeout per additional lost segment.
+type ccNewReno struct{ ccVJ }
+
+func (ccNewReno) Name() string { return CCNewReno }
+
+func (nr ccNewReno) OnAck(c *Conn, acked int) {
+	if c.inFastRecovery {
+		if seqGEQ(c.sndUna, c.frRecover) {
+			// Full ACK: the whole flight outstanding at the fast
+			// retransmit is acked — recovery is complete.
+			c.cwnd = c.ssthresh
+			c.inFastRecovery = false
+			return
+		}
+		// Partial ACK: the next hole is lost too. Retransmit it now,
+		// deflate by the data this ACK covered, re-inflate by one MSS
+		// (the hole's worth that left the network), and stay in
+		// recovery until the whole flight is acked.
+		c.retransmitOldest(true)
+		c.cwnd -= acked
+		if acked >= c.opts.MSS {
+			c.cwnd += c.opts.MSS
+		}
+		if c.cwnd < c.mss() {
+			c.cwnd = c.mss()
+		}
+		c.output()
+		return
+	}
+	nr.growOnAck(c, acked)
+}
+
+func (ccNewReno) OnDupAck(c *Conn) {
+	switch {
+	case c.inFastRecovery:
+		// Already recovering (the count restarts after each partial
+		// ACK): every further dup ACK means a segment left the network,
+		// so inflate and keep the ACK clock ticking. Crucially, do NOT
+		// re-enter recovery — frRecover must keep its original value or
+		// a burst of losses would never produce a full ACK (RFC 6582's
+		// bugfix over Reno-with-a-memory).
+		c.cwnd += c.opts.MSS
+		c.output()
+	case c.dupAcks == 3:
+		flight := int(c.sndNxt - c.sndUna)
+		c.ssthresh = max(flight/2, 2*c.opts.MSS)
+		c.frRecover = c.sndNxt
+		c.retransmitOldest(true)
+		c.cwnd = c.ssthresh + 3*c.opts.MSS
+		c.inFastRecovery = true
+		c.stats.FastRetransmits++
+	}
+}
+
+func (ccNewReno) OnECE(c *Conn) {
 	flight := int(c.sndNxt - c.sndUna)
 	c.ssthresh = max(flight/2, 2*c.opts.MSS)
 	c.cwnd = max(c.ssthresh, 2*c.opts.MSS)

@@ -67,6 +67,7 @@ type Conn struct {
 	ssthresh       int
 	dupAcks        int
 	inFastRecovery bool
+	frRecover      uint32 // NewReno: sndNxt when fast recovery began; acks below it are partial
 
 	// ECN (RFC 3168). ecnOK is set when the SYN exchange negotiated
 	// marking; ecnEcho makes the receiver stamp ECE on outgoing ACKs

@@ -1,0 +1,298 @@
+package topo
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"darpanet/internal/ipv4"
+)
+
+// TestPartitionQuality bounds the partitioner's load balance: no region
+// may hold more than twice the mean node count, and with more than one
+// region the cut must actually produce cross links with a positive
+// lookahead. Checked across seeds and shapes, including the full
+// E16-scale manifest (cheap: no network is built).
+func TestPartitionQuality(t *testing.T) {
+	cases := []struct {
+		spec    string
+		regions []int
+	}{
+		{"transitstub:gw=8,stubs=2,hosts=1", []int{2, 4, 8}},
+		{"transitstub:gw=12,stubs=3,hosts=2,mix=1", []int{2, 4}},
+		{"waxman:gw=16,hosts=1", []int{2, 4}},
+		{"transitstub:gw=250,stubs=7,hosts=1", []int{8}}, // E16 scale
+	}
+	for _, tc := range cases {
+		spec, err := ParseSpec(tc.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, regions := range tc.regions {
+			for seed := int64(1); seed <= 3; seed++ {
+				t.Run(fmt.Sprintf("%s/r%d/seed%d", tc.spec, regions, seed), func(t *testing.T) {
+					m := ManifestOnly(spec, seed)
+					p := PartitionManifest(spec, m, regions, seed)
+					if p.Regions != regions {
+						t.Fatalf("regions clamped: got %d want %d", p.Regions, regions)
+					}
+					loads := p.RegionLoads()
+					total := 0
+					for r, n := range loads {
+						if n == 0 {
+							t.Errorf("region %d is empty", r)
+						}
+						total += n
+					}
+					if total != len(m.NodeDefs) {
+						t.Fatalf("loads sum %d != %d nodes", total, len(m.NodeDefs))
+					}
+					mean := float64(total) / float64(regions)
+					for r, n := range loads {
+						if float64(n) > 2*mean {
+							t.Errorf("region %d load %d exceeds 2x mean %.1f (loads %v)",
+								r, n, mean, loads)
+						}
+					}
+					if regions > 1 {
+						if p.CrossLinks == 0 {
+							t.Error("multi-region partition with no cross links")
+						}
+						if p.LookaheadUS <= 0 {
+							t.Errorf("lookahead %dus not positive", p.LookaheadUS)
+						}
+					}
+					// Cross nets must be p2p trunks with both ends in
+					// different regions; intra nets must be unanimous.
+					attached := make(map[string][]int)
+					for i, nd := range m.NodeDefs {
+						for _, n := range nd.Nets {
+							attached[n] = append(attached[n], i)
+						}
+					}
+					for i, nf := range m.NetDefs {
+						nodes := attached[nf.Name]
+						if p.NetRegions[i] >= 0 {
+							for _, n := range nodes {
+								if p.NodeRegions[n] != p.NetRegions[i] {
+									t.Errorf("net %s marked intra region %d but node %s is in %d",
+										nf.Name, p.NetRegions[i], m.NodeDefs[n].Name, p.NodeRegions[n])
+								}
+							}
+							continue
+						}
+						if nf.Kind != "p2p" || len(nodes) != 2 {
+							t.Errorf("cross net %s: kind %s, %d stations", nf.Name, nf.Kind, len(nodes))
+						}
+						if p.NodeRegions[nodes[0]] == p.NodeRegions[nodes[1]] {
+							t.Errorf("cross net %s has both ends in region %d", nf.Name, p.NodeRegions[nodes[0]])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPartitionDeterminism pins the partition as a pure function of
+// (spec, seed, regions): byte-identical JSON across repeated calls, and
+// different under a different seed (the rotation moves the cut).
+func TestPartitionDeterminism(t *testing.T) {
+	spec, err := ParseSpec("transitstub:gw=8,stubs=2,hosts=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := func(seed int64) []byte {
+		m := ManifestOnly(spec, seed)
+		p := PartitionManifest(spec, m, 4, seed)
+		b, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := enc(7), enc(7)
+	if string(a) != string(b) {
+		t.Fatal("same (spec, seed) produced different partitions")
+	}
+	if string(enc(7)) == string(enc(8)) {
+		t.Fatal("different seeds produced identical partitions — rotation not seeded")
+	}
+}
+
+// TestShardedRoutesMatchOracle audits the installed cross-region
+// routing state against the manifest's BFS oracle: for every host pair,
+// the static route walk must deliver and cross exactly the BFS-optimal
+// number of gateways, across both shapes and several seeds.
+func TestShardedRoutesMatchOracle(t *testing.T) {
+	for _, sp := range []string{"transitstub:gw=8,stubs=2,hosts=1", "waxman:gw=10,hosts=1"} {
+		spec, err := ParseSpec(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", spec.Shape, seed), func(t *testing.T) {
+				s := GenerateSharded(spec, seed, 4, 1)
+				hosts := s.Manifest.HostNames()
+				stubNet := make(map[string]string)
+				for _, nd := range s.Manifest.NodeDefs {
+					if !nd.Forwarding {
+						stubNet[nd.Name] = nd.Nets[0]
+					}
+				}
+				for _, from := range hosts {
+					oracle := s.Manifest.NetHops(from)
+					for _, to := range hosts {
+						want, reachable := oracle[stubNet[to]]
+						got, ok := s.PathHops(from, to)
+						if !reachable {
+							if ok {
+								t.Errorf("%s -> %s: delivered but BFS says unreachable", from, to)
+							}
+							continue
+						}
+						if !ok {
+							t.Errorf("%s -> %s: route walk failed, BFS wants %d hops", from, to, want)
+							continue
+						}
+						if got != want {
+							t.Errorf("%s -> %s: %d gateway hops, BFS optimum %d", from, to, got, want)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedBuildIndependentOfWorkers pins the build — manifest,
+// partition, addresses and installed routes — as identical at any
+// worker count: workers buy wall-clock parallelism and nothing else.
+func TestShardedBuildIndependentOfWorkers(t *testing.T) {
+	spec, err := ParseSpec("transitstub:gw=8,stubs=2,hosts=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(workers int) (*Sharded, []byte) {
+		s := GenerateSharded(spec, 3, 4, workers)
+		b, err := json.Marshal(s.Manifest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, b
+	}
+	s1, m1 := build(1)
+	s4, m4 := build(4)
+	if string(m1) != string(m4) {
+		t.Fatal("manifest differs between worker counts")
+	}
+	hosts := s1.Manifest.HostNames()
+	for _, from := range hosts {
+		for _, to := range hosts {
+			if s1.Addr(to) != s4.Addr(to) {
+				t.Fatalf("%s: address differs between worker counts", to)
+			}
+			h1, ok1 := s1.PathHops(from, to)
+			h4, ok4 := s4.PathHops(from, to)
+			if h1 != h4 || ok1 != ok4 {
+				t.Fatalf("%s -> %s: path (%d,%v) vs (%d,%v) between worker counts",
+					from, to, h1, ok1, h4, ok4)
+			}
+		}
+	}
+}
+
+// TestShardedDelivery moves real datagrams across region boundaries:
+// a host in one region sends to hosts in every other region, the group
+// runs lock-step epochs, and every datagram must arrive — the live
+// counterpart of the static route audit.
+func TestShardedDelivery(t *testing.T) {
+	spec, err := ParseSpec("transitstub:gw=8,stubs=2,hosts=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := GenerateSharded(spec, 1, 4, 2)
+	hosts := s.Manifest.HostNames()
+	src := hosts[0]
+
+	var targets []string
+	seen := map[int]bool{s.Region(src): true}
+	for _, h := range hosts {
+		if r := s.Region(h); !seen[r] {
+			seen[r] = true
+			targets = append(targets, h)
+		}
+	}
+	if len(targets) == 0 {
+		t.Fatal("no cross-region host targets")
+	}
+	got := make(map[string]int)
+	for _, dst := range targets {
+		dst := dst
+		s.Net(dst).Node(dst).RegisterProtocol(200, func(h ipv4.Header, p []byte) { got[dst]++ })
+	}
+	payload := make([]byte, 256)
+	for i := 0; i < 3; i++ {
+		for _, dst := range targets {
+			hdr := ipv4.Header{Dst: s.Addr(dst), Proto: 200}
+			if err := s.Net(src).Node(src).Send(hdr, payload); err != nil {
+				t.Fatalf("send to %s: %v", dst, err)
+			}
+		}
+		s.RunFor(200 * time.Millisecond)
+	}
+	for _, dst := range targets {
+		if got[dst] != 3 {
+			t.Errorf("%s (region %d): delivered %d of 3", dst, s.Region(dst), got[dst])
+		}
+	}
+}
+
+// BenchmarkShardedForward measures per-datagram cost of the sharded
+// forwarding hot path: one datagram from a stub host across its region,
+// through a boundary trunk, to a host in another region, driving the
+// epoch loop and the barrier exchange each iteration. benchguard pins
+// this at 0 allocs/op — the pooled datagram path, the boundary
+// crossing free list and the serial epoch loop must all hold.
+func BenchmarkShardedForward(b *testing.B) {
+	spec, err := ParseSpec("transitstub:gw=8,stubs=2,hosts=1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := GenerateSharded(spec, 1, 4, 1)
+	hosts := s.Manifest.HostNames()
+	src := hosts[0]
+	dst := ""
+	for _, h := range hosts {
+		if s.Region(h) != s.Region(src) {
+			dst = h
+			break
+		}
+	}
+	if dst == "" {
+		b.Fatal("no cross-region host pair")
+	}
+	var delivered uint64
+	s.Net(dst).Node(dst).RegisterProtocol(200, func(h ipv4.Header, p []byte) { delivered++ })
+	payload := make([]byte, 512)
+	hdr := ipv4.Header{Dst: s.Addr(dst), Proto: 200}
+	step := 100 * time.Millisecond
+
+	for i := 0; i < 64; i++ {
+		if err := s.Net(src).Node(src).Send(hdr, payload); err != nil {
+			b.Fatal(err)
+		}
+		s.RunFor(step)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Net(src).Node(src).Send(hdr, payload)
+		s.RunFor(step)
+	}
+	b.StopTimer()
+	if delivered != uint64(64+b.N) {
+		b.Fatalf("delivered %d of %d", delivered, 64+b.N)
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"darpanet/internal/core"
 	"darpanet/internal/phys"
+	"darpanet/internal/stack"
 )
 
 // Shape selects the gateway graph the generator wires.
@@ -172,7 +173,9 @@ func (s Spec) validate() error {
 	return nil
 }
 
-// NetDef records one generated network in the manifest.
+// NetDef records one generated network in the manifest. The fields
+// cover the full phys.Config the generator chose, so a sharded build
+// can replay the exact same media from the manifest alone.
 type NetDef struct {
 	Name       string  `json:"name"`
 	Prefix     string  `json:"prefix"`
@@ -181,6 +184,30 @@ type NetDef struct {
 	BitsPerSec int64   `json:"bits_per_sec"`
 	DelayUS    int64   `json:"delay_us"`
 	Loss       float64 `json:"loss,omitempty"`
+	QueueLimit int     `json:"queue_limit,omitempty"`
+	JitterUS   int64   `json:"jitter_us,omitempty"`
+}
+
+// config reconstructs the phys.Config the net was generated with.
+func (nd NetDef) config() phys.Config {
+	return phys.Config{
+		BitsPerSec: nd.BitsPerSec,
+		Delay:      time.Duration(nd.DelayUS) * time.Microsecond,
+		MTU:        nd.MTU,
+		Loss:       nd.Loss,
+		QueueLimit: nd.QueueLimit,
+		Jitter:     time.Duration(nd.JitterUS) * time.Microsecond,
+	}
+}
+
+// kindOf maps the manifest kind name back to the core medium kind.
+func (nd NetDef) kindOf() core.NetKind {
+	for k, n := range kindNames {
+		if n == nd.Kind {
+			return k
+		}
+	}
+	panic("topo: unknown net kind " + nd.Kind)
 }
 
 // NodeDef records one generated node and its attachments, in wiring
@@ -205,6 +232,9 @@ type Manifest struct {
 	Stubs    int       `json:"stubs"`
 	NetDefs  []NetDef  `json:"net_defs"`
 	NodeDefs []NodeDef `json:"node_defs"`
+	// Partition records the region assignment a sharded build used;
+	// nil for serially built internets.
+	Partition *PartitionDef `json:"partition,omitempty"`
 }
 
 // ManifestSchema identifies the manifest JSON layout.
@@ -305,15 +335,41 @@ var stubProfiles = []struct {
 
 var kindNames = map[core.NetKind]string{core.LAN: "lan", core.P2P: "p2p", core.Radio: "radio"}
 
+// lab is the sink the builder wires nodes and nets into: a live
+// *core.Network, or nullLab when only the manifest is wanted (the
+// sharded builder partitions the manifest first and replays it into
+// per-region networks, so building a throwaway serial network here
+// would double the construction cost).
+type lab interface {
+	AddNet(name, prefix string, kind core.NetKind, cfg phys.Config)
+	AddGateway(name string, nets ...string) *stack.Node
+	AddHost(name string, nets ...string) *stack.Node
+	AttachNodeToNet(node, net string) *stack.Interface
+	SetDefaultRoute(host, gw string)
+}
+
+// nullLab discards the wiring and keeps only the manifest.
+type nullLab struct{}
+
+func (nullLab) AddNet(string, string, core.NetKind, phys.Config) {}
+func (nullLab) AddGateway(string, ...string) *stack.Node         { return nil }
+func (nullLab) AddHost(string, ...string) *stack.Node            { return nil }
+func (nullLab) AttachNodeToNet(string, string) *stack.Interface  { return nil }
+func (nullLab) SetDefaultRoute(string, string)                   {}
+
 // builder accumulates the Network and Manifest in lockstep.
 type builder struct {
-	nw      *core.Network
+	nw      lab
 	m       *Manifest
 	rng     *rand.Rand
 	mix     bool
 	netIdx  int
 	trunkID int
 	stubID  int
+	// nodeAt maps a node name to its NodeDefs index: link() runs once
+	// per trunk end, and a linear scan there made wiring a 2000-gateway
+	// internet quadratic.
+	nodeAt map[string]int
 }
 
 // prefix allocates the next /24 from 10/8.
@@ -328,6 +384,7 @@ func (b *builder) record(name, prefix string, kind core.NetKind, cfg phys.Config
 		Name: name, Prefix: prefix, Kind: kindNames[kind],
 		MTU: cfg.MTU, BitsPerSec: cfg.BitsPerSec,
 		DelayUS: int64(cfg.Delay / time.Microsecond), Loss: cfg.Loss,
+		QueueLimit: cfg.QueueLimit, JitterUS: int64(cfg.Jitter / time.Microsecond),
 	})
 }
 
@@ -366,6 +423,7 @@ func (b *builder) addStub() string {
 // addGateway creates a forwarding node attached to the given nets.
 func (b *builder) addGateway(name string, nets ...string) {
 	b.nw.AddGateway(name, nets...)
+	b.nodeAt[name] = len(b.m.NodeDefs)
 	b.m.NodeDefs = append(b.m.NodeDefs, NodeDef{Name: name, Forwarding: true, Nets: nets})
 	b.m.Gateways++
 }
@@ -374,13 +432,11 @@ func (b *builder) addGateway(name string, nets ...string) {
 // manifest entry in place.
 func (b *builder) link(gw, net string) {
 	b.nw.AttachNodeToNet(gw, net)
-	for i := range b.m.NodeDefs {
-		if b.m.NodeDefs[i].Name == gw {
-			b.m.NodeDefs[i].Nets = append(b.m.NodeDefs[i].Nets, net)
-			return
-		}
+	i, ok := b.nodeAt[gw]
+	if !ok {
+		panic("topo: link to unknown gateway " + gw)
 	}
-	panic("topo: link to unknown gateway " + gw)
+	b.m.NodeDefs[i].Nets = append(b.m.NodeDefs[i].Nets, net)
 }
 
 // populate adds n hosts to a stub net behind the named gateway, with
@@ -390,6 +446,7 @@ func (b *builder) populate(stub, gw string, n int) {
 		name := fmt.Sprintf("h%d", b.m.Hosts)
 		b.nw.AddHost(name, stub)
 		b.nw.SetDefaultRoute(name, gw)
+		b.nodeAt[name] = len(b.m.NodeDefs)
 		b.m.NodeDefs = append(b.m.NodeDefs, NodeDef{Name: name, Nets: []string{stub}})
 		b.m.Hosts++
 	}
@@ -402,14 +459,26 @@ func (b *builder) populate(stub, gw string, n int) {
 // build time; gateway routing (static oracle or RIP) is the caller's
 // choice.
 func Generate(spec Spec, seed int64) (*core.Network, *Manifest) {
+	nw := core.New(seed)
+	return nw, generate(spec, seed, nw)
+}
+
+// ManifestOnly generates just the manifest — same graph, same names,
+// same media draws as Generate, no live network.
+func ManifestOnly(spec Spec, seed int64) *Manifest {
+	return generate(spec, seed, nullLab{})
+}
+
+func generate(spec Spec, seed int64, into lab) *Manifest {
 	if err := spec.validate(); err != nil {
 		panic(err)
 	}
 	b := &builder{
-		nw:  core.New(seed),
-		m:   &Manifest{Schema: ManifestSchema, Spec: spec.String(), Seed: seed},
-		rng: rand.New(rand.NewSource(seed)),
-		mix: spec.Mix,
+		nw:     into,
+		m:      &Manifest{Schema: ManifestSchema, Spec: spec.String(), Seed: seed},
+		rng:    rand.New(rand.NewSource(seed)),
+		mix:    spec.Mix,
+		nodeAt: make(map[string]int),
 	}
 
 	// Phase 1: backbone gateways, each with (outside transit-stub) a
@@ -452,7 +521,7 @@ func Generate(spec Spec, seed int64) (*core.Network, *Manifest) {
 	}
 
 	b.m.Nets = len(b.m.NetDefs)
-	return b.nw, b.m
+	return b.m
 }
 
 // connect joins two backbone gateways with a fresh trunk.

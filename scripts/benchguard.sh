@@ -16,7 +16,7 @@ cd "$(dirname "$0")/.."
 
 BASELINE=BENCH_baseline.txt
 PKGS="./internal/sim/ ./internal/stack/ ./internal/fault/ ./internal/topo/ ./internal/workload/ ./internal/survive/"
-PATTERN='BenchmarkEventThroughput|BenchmarkTimerChurn|BenchmarkManyPendingTimers|BenchmarkForwardHotPath|BenchmarkSingleHopSend|BenchmarkForwardHotPathIdleInjector|BenchmarkScaleForward|BenchmarkForwardHotPathActiveWorkload|BenchmarkForwardHotPathSurviveCensus'
+PATTERN='BenchmarkEventThroughput|BenchmarkTimerChurn|BenchmarkManyPendingTimers|BenchmarkForwardHotPath|BenchmarkSingleHopSend|BenchmarkForwardHotPathIdleInjector|BenchmarkScaleForward|BenchmarkForwardHotPathActiveWorkload|BenchmarkForwardHotPathSurviveCensus|BenchmarkShardedForward'
 
 out=$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime 1000x $PKGS)
 printf '%s\n' "$out"

@@ -48,10 +48,11 @@ trap 'rm -rf "$tmpdir"' EXIT
 go run ./cmd/experiments -only E5 -runs 4 -parallel 1 -json "$tmpdir/p1.json" > /dev/null
 go run ./cmd/experiments -only E5 -runs 4 -parallel "$(nproc)" -json "$tmpdir/pn.json" > /dev/null
 cmp "$tmpdir/p1.json" "$tmpdir/pn.json"
-# E13-T smoke: a 2x2 tournament cell grid through the CLI, with the
-# ranked leaderboard required byte-identical at any worker count.
-go run ./cmd/experiments -only E13-T -qdisc 'droptail+ecn' -cc 'naive+reno' -runs 2 -seed 1988 -parallel 1 -leaderboard "$tmpdir/lb1.json" > /dev/null
-go run ./cmd/experiments -only E13-T -qdisc 'droptail+ecn' -cc 'naive+reno' -runs 2 -seed 1988 -parallel 3 -leaderboard "$tmpdir/lb3.json" > /dev/null
+# E13-T smoke: a 2x2 tournament cell grid through the CLI (with the
+# topology axis pinned explicitly), the ranked leaderboard required
+# byte-identical at any worker count.
+go run ./cmd/experiments -only E13-T -ttopo transitstub -qdisc 'droptail+ecn' -cc 'naive+newreno' -runs 2 -seed 1988 -parallel 1 -leaderboard "$tmpdir/lb1.json" > /dev/null
+go run ./cmd/experiments -only E13-T -ttopo transitstub -qdisc 'droptail+ecn' -cc 'naive+newreno' -runs 2 -seed 1988 -parallel 3 -leaderboard "$tmpdir/lb3.json" > /dev/null
 cmp "$tmpdir/lb1.json" "$tmpdir/lb3.json"
 # E14 smoke: targeted-vs-random fault campaigns on a small internet,
 # with the survivability frontier required byte-identical at any worker
@@ -59,4 +60,10 @@ cmp "$tmpdir/lb1.json" "$tmpdir/lb3.json"
 go run ./cmd/experiments -only E14 -stopo 'transitstub:gw=3,stubs=2,hosts=1,mix=0' -sfracs '10,20' -runs 2 -seed 1988 -parallel 1 -survive "$tmpdir/sf1.json" > /dev/null
 go run ./cmd/experiments -only E14 -stopo 'transitstub:gw=3,stubs=2,hosts=1,mix=0' -sfracs '10,20' -runs 2 -seed 1988 -parallel 3 -survive "$tmpdir/sf3.json" > /dev/null
 cmp "$tmpdir/sf1.json" "$tmpdir/sf3.json"
+# E16 smoke: the 2000-gateway sharded kernel end to end through the
+# CLI; the campaign JSON must be byte-identical at any -shards value —
+# the conservative-sync acceptance check.
+go run ./cmd/experiments -only E16 -seed 1988 -shards 1 -json "$tmpdir/e16-s1.json" > /dev/null
+go run ./cmd/experiments -only E16 -seed 1988 -shards 4 -json "$tmpdir/e16-s4.json" > /dev/null
+cmp "$tmpdir/e16-s1.json" "$tmpdir/e16-s4.json"
 scripts/benchguard.sh

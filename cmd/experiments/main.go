@@ -42,14 +42,18 @@
 // -stopo transitstub:gw=6,stubs=3 -sfracs 5,10,25. -survive writes the
 // E14 campaign's survivability frontier as darpanet/survive/v1 JSON.
 //
-// -shards sets E16's worker count: the 2000-gateway internet is always
-// partitioned into the same region shards, and N workers advance them
-// in lock-step epochs. Results are byte-identical at every -shards
-// value; only wall-clock changes.
+// -names writes the E15 campaign's per-mode naming summary (name-based
+// service continuity vs the address-pinned baseline) as
+// darpanet/names/v1 JSON.
+//
+// -shards sets the worker count of the sharded experiments (E15, E16):
+// the internet is always partitioned into the same region shards, and N
+// workers advance them in lock-step epochs. Results are byte-identical
+// at every -shards value; only wall-clock changes.
 //
 // Usage:
 //
-//	experiments [-seed N] [-only E1,E5] [-runs N] [-parallel N] [-json file] [-faults sched] [-topo spec] [-workload spec] [-qdisc spec] [-cc list] [-ttopo id] [-leaderboard file] [-stopo spec] [-sfracs pcts] [-survive file] [-shards N] [-metrics]
+//	experiments [-seed N] [-only E1,E5] [-runs N] [-parallel N] [-json file] [-faults sched] [-topo spec] [-workload spec] [-qdisc spec] [-cc list] [-ttopo id] [-leaderboard file] [-stopo spec] [-sfracs pcts] [-survive file] [-names file] [-shards N] [-metrics]
 package main
 
 import (
@@ -135,7 +139,8 @@ func main() {
 	sTopo := flag.String("stopo", "", "E14 topology spec, 'shape:key=val,...' (same syntax as -topo)")
 	sFracs := flag.String("sfracs", "", "E14 loss sweep as comma-separated percentages of infrastructure lost, e.g. '2,5,10,20'")
 	surviveOut := flag.String("survive", "", "write the E14 campaign's survivability frontier to this file as darpanet/survive/v1 JSON")
-	shards := flag.Int("shards", 1, "E16 worker count (results are byte-identical at any value; only wall time changes)")
+	namesOut := flag.String("names", "", "write the E15 campaign's naming summary to this file as darpanet/names/v1 JSON")
+	shards := flag.Int("shards", 1, "E15/E16 worker count (results are byte-identical at any value; only wall time changes)")
 	flag.Parse()
 
 	e11Run := exp.RunE11
@@ -272,6 +277,9 @@ func main() {
 		// No title suffix for -shards: the worker count must not leave a
 		// trace in the report, which is compared byte for byte across
 		// shard counts.
+		if e.ID == "E15" && *shards != 1 {
+			e.Run = exp.RunE15Workers(*shards)
+		}
 		if e.ID == "E16" && *shards != 1 {
 			e.Run = exp.RunE16Workers(*shards)
 		}
@@ -400,6 +408,39 @@ func main() {
 		for _, r := range fr.Rows {
 			fmt.Printf("  %-8s %5.1f%% lost: goodput %.2f of baseline, %.1f partitions, largest %.2f\n",
 				r.Mode, r.LostPct, r.GoodputFrac, r.Partitions, r.LargestFrac)
+		}
+	}
+
+	if *namesOut != "" {
+		var nr *harness.NamesReport
+		for _, rep := range reports {
+			if rep.ID == "E15" {
+				nr = harness.BuildNames(rep)
+				break
+			}
+		}
+		if nr == nil || len(nr.Rows) == 0 {
+			fmt.Fprintln(os.Stderr, "-names: no E15 campaign in this run")
+			os.Exit(1)
+		}
+		f, err := os.Create(*namesOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := harness.WriteNamesJSON(f, nr); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d-row naming summary, schema darpanet/names/v1)\n", *namesOut, len(nr.Rows))
+		for _, r := range nr.Rows {
+			fmt.Printf("  %-5s continuity %.3f (p50 %.1fms, p90 %.1fms, cache hit %.2f, %d attempts)\n",
+				r.Mode, r.Continuity, r.ResolveP50, r.ResolveP90, r.CacheHit, int(r.Attempts))
 		}
 	}
 }

@@ -154,6 +154,7 @@ var All = []Experiment{
 	{"E13", "Congestion collapse: goodput vs offered load through the cliff", RunE13},
 	{"E13-T", "Policy tournament: gateway queue policy x host congestion response", RunE13T},
 	{"E14", "Survivability frontier: cut-set-targeted vs random failure at matched budgets", RunE14},
+	{"E15", "Names layer: service continuity by name through directory crash and renumbering", RunE15},
 	{"E16", "Sharded kernel: 2000 gateways under conservative link-delay synchronization", RunE16},
 }
 

@@ -12,8 +12,8 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	if len(All) != 16 {
-		t.Fatalf("experiments = %d, want 16", len(All))
+	if len(All) != 17 {
+		t.Fatalf("experiments = %d, want 17", len(All))
 	}
 	seen := map[string]bool{}
 	for _, e := range All {

@@ -1,0 +1,65 @@
+package harness_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"darpanet/internal/exp"
+	"darpanet/internal/harness"
+	"darpanet/internal/topo"
+)
+
+// TestE15CampaignJSONByteIdentical is the naming campaign's acceptance
+// check: the aggregated campaign JSON and the distilled
+// darpanet/names/v1 export must be byte-for-byte identical at any
+// campaign parallelism (-parallel 1 vs 3) AND any per-replica worker
+// count (-shards 1 vs 2) — all four combinations. Replicas share no
+// state, each replica's plan is a pure function of (spec, seed,
+// regions), and the sharded kernel's barrier exchange is fixed by the
+// same tuple, so neither knob may leak into the numbers. The directory
+// replicas span both regions, so the equality also covers replication
+// traffic crossing the shard seam. A scaled-down internet keeps the
+// test quick; the full campaign is the recorded table in
+// EXPERIMENTS.md.
+func TestE15CampaignJSONByteIdentical(t *testing.T) {
+	const runs = 3
+	spec, err := topo.ParseSpec("transitstub:gw=4,stubs=2,hosts=2,dirs=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantCampaign, wantNames []byte
+	for _, parallel := range []int{1, 3} {
+		for _, workers := range []int{1, 2} {
+			label := fmt.Sprintf("parallel=%d workers=%d", parallel, workers)
+			rep := harness.Campaign{Runs: runs, Parallel: parallel, BaseSeed: 1988}.
+				RunFunc("E15", "name-based service continuity", exp.RunE15With(spec, 2, workers))
+			if len(rep.Failures) > 0 {
+				t.Fatalf("%s: replica failures: %+v", label, rep.Failures)
+			}
+			var buf bytes.Buffer
+			if err := harness.WriteJSON(&buf, 1988, runs, []*harness.Report{rep}); err != nil {
+				t.Fatal(err)
+			}
+			n := harness.BuildNames(rep)
+			if len(n.Rows) != 2 || n.Rows[0].Mode != "name" || n.Rows[1].Mode != "pin" {
+				t.Fatalf("%s: names export rows %+v, want [name pin]", label, n.Rows)
+			}
+			var nbuf bytes.Buffer
+			if err := harness.WriteNamesJSON(&nbuf, n); err != nil {
+				t.Fatal(err)
+			}
+			if wantCampaign == nil {
+				wantCampaign = append([]byte(nil), buf.Bytes()...)
+				wantNames = append([]byte(nil), nbuf.Bytes()...)
+				continue
+			}
+			if !bytes.Equal(wantCampaign, buf.Bytes()) {
+				t.Fatalf("%s: campaign JSON diverged", label)
+			}
+			if !bytes.Equal(wantNames, nbuf.Bytes()) {
+				t.Fatalf("%s: names JSON diverged", label)
+			}
+		}
+	}
+}

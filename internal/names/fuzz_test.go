@@ -1,0 +1,60 @@
+package names
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"darpanet/internal/ipv4"
+)
+
+// FuzzNamesMessageRoundTrip pins the codec's canonical-encoding
+// contract: any input Parse accepts must re-Marshal to the identical
+// bytes, and the re-parsed message must equal the first — so every
+// accepted wire image has exactly one in-memory form and vice versa.
+// Everything else must be rejected without panicking.
+func FuzzNamesMessageRoundTrip(f *testing.F) {
+	mk := func(m Message) []byte {
+		b, err := m.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	f.Add(mk(Message{Op: OpQuery, ID: 7, Records: []Record{{Name: "h1"}}}))
+	f.Add(mk(Message{Op: OpAnswer, ID: 7, Serial: 3, Records: []Record{
+		{Name: "h1", Addr: ipv4.Addr(0x0a000105), Serial: 2, TTLms: 3000}}}))
+	f.Add(mk(Message{Op: OpAnswer, Negative: true, ID: 9, Records: []Record{{Name: "nope", TTLms: 1000}}}))
+	f.Add(mk(Message{Op: OpRegister, ID: 1, Records: []Record{{Name: "h2", Addr: ipv4.Addr(0x0a000206), Serial: 1}}}))
+	f.Add(mk(Message{Op: OpUpdate, Serial: 12, Records: []Record{
+		{Name: "h1", Addr: ipv4.Addr(0x0a000105), Serial: 2},
+		{Name: "h2", Addr: ipv4.Addr(0x0a000206), Serial: 1}}}))
+	f.Add(mk(Message{Op: OpDiscover, ID: 2, Records: []Record{{Name: "h3", Addr: ipv4.Addr(0x0a000307), Serial: 1}}}))
+	f.Add([]byte{2, 1, 0, 0, 0, 0, 0, 0, 0, 0})       // wrong version
+	f.Add([]byte{1, 99, 0, 0, 0, 0, 0, 0, 0, 0})      // unknown op
+	f.Add([]byte{1, 1, 0x80, 0, 0, 0, 0, 0, 0, 0})    // reserved flag bit
+	f.Add([]byte{1, 1, 0, 0, 0, 0, 0, 0, 0, 5})       // count overruns payload
+	f.Add([]byte{1, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0}) // zero-length name
+	f.Add([]byte{1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0xff}) // trailing byte
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Parse(data)
+		if err != nil {
+			return
+		}
+		out, err := m.Marshal()
+		if err != nil {
+			t.Fatalf("accepted message failed to marshal: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("non-canonical accept:\n in  %x\n out %x", data, out)
+		}
+		back, err := Parse(out)
+		if err != nil {
+			t.Fatalf("re-marshaled message rejected: %v", err)
+		}
+		if !reflect.DeepEqual(m, back) {
+			t.Fatalf("message changed across round trip:\n%+v\n%+v", m, back)
+		}
+	})
+}

@@ -66,6 +66,10 @@ type Spec struct {
 	// Mix varies per-net media profiles (MTU, rate, delay, loss);
 	// when false every trunk and every stub uses one fixed profile.
 	Mix bool
+	// Directories is how many gateways host a directory replica
+	// (internal/names); the placement is recorded in the manifest.
+	// Zero generates no directory placement.
+	Directories int
 }
 
 // DefaultSpec is the E12 reference internet: a 25-transit ring with 7
@@ -88,6 +92,9 @@ func (s Spec) String() string {
 		fmt.Fprintf(&b, ",alpha=%g,beta=%g", s.Alpha, s.Beta)
 	}
 	fmt.Fprintf(&b, ",hosts=%d,mix=%d", s.Hosts, b01(s.Mix))
+	if s.Directories > 0 {
+		fmt.Fprintf(&b, ",dirs=%d", s.Directories)
+	}
 	return b.String()
 }
 
@@ -144,6 +151,8 @@ func ParseSpec(s string) (Spec, error) {
 			var n int
 			n, err = strconv.Atoi(v)
 			spec.Mix = n != 0
+		case "dirs":
+			spec.Directories, err = strconv.Atoi(v)
 		default:
 			return Spec{}, fmt.Errorf("topo: unknown parameter %q", k)
 		}
@@ -169,6 +178,8 @@ func (s Spec) validate() error {
 		return fmt.Errorf("topo: stubs=%d, want >= 1", s.StubsPer)
 	case s.Shape == Waxman && (s.Alpha <= 0 || s.Beta <= 0):
 		return fmt.Errorf("topo: waxman needs alpha,beta > 0")
+	case s.Directories < 0:
+		return fmt.Errorf("topo: dirs=%d, want >= 0", s.Directories)
 	}
 	return nil
 }
@@ -232,6 +243,9 @@ type Manifest struct {
 	Stubs    int       `json:"stubs"`
 	NetDefs  []NetDef  `json:"net_defs"`
 	NodeDefs []NodeDef `json:"node_defs"`
+	// Directories names the gateways placed to host directory
+	// replicas (internal/names); empty unless Spec.Directories > 0.
+	Directories []string `json:"directories,omitempty"`
 	// Partition records the region assignment a sharded build used;
 	// nil for serially built internets.
 	Partition *PartitionDef `json:"partition,omitempty"`
@@ -521,7 +535,35 @@ func generate(spec Spec, seed int64, into lab) *Manifest {
 	}
 
 	b.m.Nets = len(b.m.NetDefs)
+	if spec.Directories > 0 {
+		b.m.Directories = placeDirectories(b.m, spec, spec.Directories)
+	}
 	return b.m
+}
+
+// placeDirectories picks n gateways to host directory replicas, evenly
+// spaced over the generated order so the replicas spread across the
+// internet — and across any region partition a sharded build cuts. On
+// transit-stub graphs the transit ring is skipped: directories belong
+// at the edge, where crashing one cannot cut the backbone.
+func placeDirectories(m *Manifest, spec Spec, n int) []string {
+	var cand []string
+	for _, nd := range m.NodeDefs {
+		if nd.Forwarding {
+			cand = append(cand, nd.Name)
+		}
+	}
+	if spec.Shape == TransitStub && len(cand) > spec.Gateways {
+		cand = cand[spec.Gateways:]
+	}
+	if n > len(cand) {
+		n = len(cand)
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, cand[i*len(cand)/n])
+	}
+	return out
 }
 
 // connect joins two backbone gateways with a fresh trunk.

@@ -40,6 +40,7 @@ go test -run '^$' -fuzz FuzzIPv4HeaderRoundTrip -fuzztime 10s ./internal/ipv4/
 go test -run '^$' -fuzz FuzzTCPSegmentRoundTrip -fuzztime 10s ./internal/tcp/
 go test -run '^$' -fuzz FuzzUDPDatagramRoundTrip -fuzztime 10s ./internal/udp/
 go test -run '^$' -fuzz FuzzRIPMessageRoundTrip -fuzztime 10s ./internal/rip/
+go test -run '^$' -fuzz FuzzNamesMessageRoundTrip -fuzztime 10s ./internal/names/
 # Metrics determinism: the campaign JSON (which now embeds the full
 # per-layer counter registry as ctr/ metrics) must be byte-identical no
 # matter how many workers ran the replicas.
@@ -66,4 +67,12 @@ cmp "$tmpdir/sf1.json" "$tmpdir/sf3.json"
 go run ./cmd/experiments -only E16 -seed 1988 -shards 1 -json "$tmpdir/e16-s1.json" > /dev/null
 go run ./cmd/experiments -only E16 -seed 1988 -shards 4 -json "$tmpdir/e16-s4.json" > /dev/null
 cmp "$tmpdir/e16-s1.json" "$tmpdir/e16-s4.json"
+# E15 smoke: name-based service continuity through a directory crash;
+# the darpanet/names/v1 export must be byte-identical at any -parallel
+# AND any -shards value (directory traffic crosses the shard seams).
+go run ./cmd/experiments -only E15 -runs 2 -seed 1988 -parallel 1 -names "$tmpdir/n-p1.json" > /dev/null
+go run ./cmd/experiments -only E15 -runs 2 -seed 1988 -parallel 3 -names "$tmpdir/n-p3.json" > /dev/null
+cmp "$tmpdir/n-p1.json" "$tmpdir/n-p3.json"
+go run ./cmd/experiments -only E15 -runs 2 -seed 1988 -parallel 1 -shards 2 -names "$tmpdir/n-s2.json" > /dev/null
+cmp "$tmpdir/n-p1.json" "$tmpdir/n-s2.json"
 scripts/benchguard.sh
